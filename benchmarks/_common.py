@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one evaluation artifact of the paper (see
+DESIGN.md §3) at a *reduced default scale* -- the paper's full grid
+(N = 2^5..2^20, 1000 trials) takes hours in pure Python.  Set
+``REPRO_FULL=1`` to run paper scale.
+
+Each bench
+
+* runs the experiment once under ``benchmark.pedantic`` (wall-clock of the
+  harness itself is the benchmark metric),
+* asserts the paper's qualitative claims (who wins, roughly by how much),
+* writes the rendered table/series to ``benchmarks/results/<name>.txt`` so
+  EXPERIMENTS.md can reference concrete regenerated numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false", "no")
+
+
+def grid():
+    """(n_values, n_trials) for the current scale."""
+    if full_scale():
+        return tuple(2**k for k in range(5, 21)), 1000
+    return tuple(2**k for k in range(5, 13)), 200
+
+
+def small_grid():
+    """A lighter grid for the more expensive per-trial experiments."""
+    if full_scale():
+        return tuple(2**k for k in range(5, 21)), 1000
+    return tuple(2**k for k in range(5, 11)), 100
+
+
+def write_artifact(name: str, content: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are deterministic and heavy; repeated rounds would
+    only re-measure the same computation.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

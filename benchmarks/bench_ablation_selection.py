@@ -1,0 +1,49 @@
+"""Ablation -- how much of HF's quality is the heaviest-first choice?
+
+DESIGN.md §4: HF's single design decision is which piece to bisect.  This
+bench re-runs the Figure-5 setting with the selection strategy swapped
+(random / oldest-first / lightest-first) and quantifies the gap.
+
+Expected: heaviest-first < oldest ≈ random ≪ lightest (which degenerates
+to Θ(N·w_heaviest-child) because it never revisits heavy pieces).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.variants import SELECTION_STRATEGIES, selection_final_weights
+from repro.problems import UniformAlpha
+
+from _common import full_scale, run_once, write_artifact
+
+
+def test_selection_strategy_ablation(benchmark):
+    n = 1024 if full_scale() else 256
+    trials = 500 if full_scale() else 200
+    sampler = UniformAlpha(0.1, 0.5)
+
+    def run():
+        rng = np.random.default_rng(99)
+        out = {}
+        for strategy in SELECTION_STRATEGIES:
+            ratios = []
+            for t in range(trials):
+                d = sampler.sample_many(np.random.default_rng(1000 + t), n - 1)
+                w = selection_final_weights(strategy, 1.0, n, d, rng=rng)
+                ratios.append(w.max() * n)
+            out[strategy] = float(np.mean(ratios))
+        return out
+
+    means = run_once(benchmark, run)
+
+    assert means["heaviest"] < means["oldest"]
+    assert means["heaviest"] < means["random"]
+    assert means["lightest"] > 10 * means["heaviest"]
+
+    lines = [f"Selection-strategy ablation (N={n}, U[0.1,0.5], {trials} trials)"]
+    for strategy in SELECTION_STRATEGIES:
+        lines.append(f"  {strategy:<9} mean ratio {means[strategy]:9.3f}")
+    write_artifact("selection_ablation", "\n".join(lines))
+    benchmark.extra_info["mean_ratios"] = {
+        k: round(v, 3) for k, v in means.items()
+    }

@@ -1,0 +1,44 @@
+"""Bench E10 -- the Section-4 findings on concrete problem families.
+
+The paper's Monte-Carlo uses the abstract i.i.d. α̂ model; this bench
+re-checks its findings (HF best, all far below worst case) on the actual
+workloads the introduction motivates: FE-trees, ordered lists, quadrature
+regions, grid domains, search frontiers and task DAGs.
+"""
+
+import pytest
+
+from repro.core.bounds import bound_for
+from repro.experiments.families_study import (
+    render_families_study,
+    run_families_study,
+)
+
+from _common import full_scale, run_once, write_artifact
+
+
+def test_families_study(benchmark):
+    n_instances = 50 if full_scale() else 15
+    result = run_once(
+        benchmark,
+        lambda: run_families_study(n_instances=n_instances, n_processors=16),
+    )
+    write_artifact("families_study", render_families_study(result))
+
+    for family in result.families():
+        hf = result.get(family, "hf")
+        ba = result.get(family, "ba")
+        bahf = result.get(family, "bahf")
+        # ordering (BA-HF may tie with either end when it degenerates)
+        assert hf.mean_ratio <= ba.mean_ratio + 1e-9, family
+        assert hf.mean_ratio <= bahf.mean_ratio + 0.05, family
+        assert bahf.mean_ratio <= ba.mean_ratio + 0.05, family
+        # far below the worst-case bound at the probed alpha
+        for rec in (hf, ba, bahf):
+            bound = bound_for(rec.algorithm, rec.probed_alpha, 16)
+            assert rec.max_ratio <= bound + 1e-9, (family, rec.algorithm)
+
+    benchmark.extra_info["hf_mean_by_family"] = {
+        fam: round(result.get(fam, "hf").mean_ratio, 3)
+        for fam in result.families()
+    }

@@ -1,0 +1,66 @@
+"""Bench -- the motivating FEM application, end to end.
+
+Balances nested-dissection elimination FE-trees (built from a real,
+validated Poisson discretisation with a refinement hot spot) and checks
+the claims that matter to the application:
+
+* HF/BA achieve near-ideal flop balance on these trees,
+* the achieved ratio sits within the Theorem bound at the tree's probed
+  bisector quality,
+* the remaining speedup gap is the elimination critical path (the
+  dependency chain through the top separators), not imbalance.
+"""
+
+import pytest
+
+from repro.core import probe_bisector_quality, run_ba, run_hf
+from repro.core.bounds import hf_bound
+from repro.fem import dissection_fe_tree, estimate_parallel_solve
+from repro.problems import gaussian_hotspot_density
+
+from _common import full_scale, run_once, write_artifact
+
+
+def test_fem_pipeline(benchmark):
+    grid = 96 if full_scale() else 64
+    n_values = (4, 8, 16)
+
+    def run():
+        density = gaussian_hotspot_density(
+            (grid, grid), n_hotspots=2, peak=25.0, seed=13
+        )
+        mk = lambda: dissection_fe_tree(grid, grid, density=density)
+        alpha = max(
+            1e-3, probe_bisector_quality(mk(), max_nodes=128).min_alpha * 0.999
+        )
+        rows = []
+        for n in n_values:
+            hf_tree = mk()
+            hf_part = run_hf(hf_tree, n)
+            hf_est = estimate_parallel_solve(hf_tree, hf_part)
+            ba_tree = mk()
+            ba_part = run_ba(ba_tree, n)
+            rows.append((n, alpha, hf_part, hf_est, ba_part))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [f"FEM substructuring pipeline (grid {grid}x{grid}, hot spots)"]
+    for n, alpha, hf_part, hf_est, ba_part in rows:
+        # balance quality within the theorem bound at the probed alpha
+        assert hf_part.ratio <= hf_bound(alpha, n) + 1e-9
+        # near-ideal balance on the motivating workload
+        assert hf_part.ratio < 2.0
+        assert hf_part.ratio <= ba_part.ratio + 1e-9
+        # the speedup gap is the critical path, not imbalance
+        assert hf_est.parallel_flops >= hf_est.critical_path_flops
+        lines.append(
+            f"  N={n:3d} alpha~{alpha:.3f} HF ratio={hf_part.ratio:.3f} "
+            f"BA ratio={ba_part.ratio:.3f} speedup={hf_est.speedup:.2f} "
+            f"(crit-path {100 * hf_est.critical_path_flops / hf_est.serial_flops:.0f}% "
+            "of serial)"
+        )
+    write_artifact("fem_pipeline", "\n".join(lines))
+    benchmark.extra_info["speedups"] = {
+        n: round(est.speedup, 2) for n, _, _, est, _ in rows
+    }

@@ -1,0 +1,40 @@
+"""Bench F5 -- regenerate the paper's Figure 5.
+
+Average ratio vs log2 N for α̂ ~ U[0.1, 0.5], λ = 1.0.
+
+Paper's reported shape: three nearly flat curves ordered BA > BA-HF > HF;
+HF "almost constant for the whole range N = 32 .. 2^20".
+"""
+
+import pytest
+
+from repro.experiments.figure5 import figure5_series, render_figure5, run_figure5
+
+from _common import grid, run_once, write_artifact
+
+
+def test_figure5_reproduction(benchmark):
+    n_values, n_trials = grid()
+    result = run_once(
+        benchmark, lambda: run_figure5(n_trials=n_trials, n_values=n_values)
+    )
+    write_artifact("figure5", render_figure5(result))
+
+    series = figure5_series(result)
+
+    # ordering at every N: HF <= BA-HF <= BA
+    for i in range(len(n_values)):
+        assert series["hf"][i] <= series["bahf"][i] <= series["ba"][i]
+
+    # HF flat across the N range
+    assert max(series["hf"]) - min(series["hf"]) < 0.15
+
+    # curves within a factor 3
+    for i in range(len(n_values)):
+        assert series["ba"][i] / series["hf"][i] < 3.0
+
+    benchmark.extra_info["hf_mean_band"] = (
+        round(min(series["hf"]), 4),
+        round(max(series["hf"]), 4),
+    )
+    benchmark.extra_info["ba_mean_at_max_n"] = round(series["ba"][-1], 4)

@@ -1,0 +1,70 @@
+"""Extension bench -- heterogeneous (speed-weighted) load balancing.
+
+Compares speed-aware weighted BA/HF against speed-blind execution on
+two-class and power-law machines.  The claim: generalising the paper's
+algorithms to proportional ideals recovers most of the balance a uniform
+machine would enjoy, while ignoring heterogeneity costs roughly the
+speed spread.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run_ba, run_hf
+from repro.core.heterogeneous import (
+    run_ba_heterogeneous,
+    run_hf_heterogeneous,
+    speed_profile,
+    weighted_ratio,
+)
+from repro.problems import SyntheticProblem, UniformAlpha
+
+from _common import full_scale, run_once, write_artifact
+
+
+def test_heterogeneous_extension(benchmark):
+    n = 64
+    trials = 200 if full_scale() else 60
+    sampler = UniformAlpha(0.1, 0.5)
+    profiles = {
+        "two_class(x4)": speed_profile("two_class", n, spread=4.0),
+        "powerlaw(x4)": speed_profile("powerlaw", n, seed=7, spread=4.0),
+    }
+
+    def run():
+        out = {}
+        for name, speeds in profiles.items():
+            aware_ba, aware_hf, blind = [], [], []
+            for t in range(trials):
+                mk = lambda: SyntheticProblem(1.0, sampler, seed=5000 + t)
+                aware_ba.append(run_ba_heterogeneous(mk(), speeds).ratio)
+                aware_hf.append(run_hf_heterogeneous(mk(), speeds).ratio)
+                blind.append(
+                    weighted_ratio(run_ba(mk(), n).weights, speeds)
+                )
+            out[name] = {
+                "ba_aware": float(np.mean(aware_ba)),
+                "hf_aware": float(np.mean(aware_hf)),
+                "ba_blind": float(np.mean(blind)),
+            }
+        return out
+
+    results = run_once(benchmark, run)
+
+    lines = [f"Heterogeneous extension (N={n}, U[0.1,0.5], {trials} trials)"]
+    for name, vals in results.items():
+        # speed-aware must clearly beat speed-blind
+        assert vals["ba_aware"] < vals["ba_blind"] / 1.5, name
+        assert vals["hf_aware"] < vals["ba_blind"], name
+        # weighted HF at least as good as weighted BA on average
+        assert vals["hf_aware"] <= vals["ba_aware"] * 1.1, name
+        lines.append(
+            f"  {name:<14} BA-aware={vals['ba_aware']:.3f} "
+            f"HF-aware={vals['hf_aware']:.3f} "
+            f"BA-blind={vals['ba_blind']:.3f}"
+        )
+    write_artifact("heterogeneous", "\n".join(lines))
+    benchmark.extra_info["results"] = {
+        k: {kk: round(vv, 3) for kk, vv in v.items()}
+        for k, v in results.items()
+    }

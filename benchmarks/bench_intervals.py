@@ -1,0 +1,48 @@
+"""Bench E3 -- the interval study: flatness of the mean ratio in N.
+
+Paper: "the average ratio obtained from Algorithm HF was observed to be
+almost constant for the whole range of N ... Its exact value depended
+only on the particular choice of the interval [a, b].  Only when the
+range for the bisection parameter was very small (b - a smaller than
+0.1), the observed ratios varied with the number of processors."
+"""
+
+import pytest
+
+from repro.experiments.interval_study import (
+    NARROW_INTERVALS,
+    WIDE_INTERVALS,
+    render_interval_study,
+    run_interval_study,
+)
+
+from _common import run_once, small_grid, write_artifact
+
+
+def test_interval_study_reproduction(benchmark):
+    n_values, n_trials = small_grid()
+    result = run_once(
+        benchmark,
+        lambda: run_interval_study(
+            algorithms=("hf",), n_trials=n_trials, n_values=n_values
+        ),
+    )
+    write_artifact("interval_study", render_interval_study(result))
+
+    # HF flat in N for every wide interval
+    for interval in WIDE_INTERVALS:
+        assert result.flatness(interval, "hf") < 0.15, interval
+
+    # narrow intervals vary more than the flattest wide interval
+    flattest_wide = min(result.flatness(iv, "hf") for iv in WIDE_INTERVALS)
+    for interval in NARROW_INTERVALS:
+        assert result.flatness(interval, "hf") > flattest_wide, interval
+
+    # the interval determines the level: wider lower bound a -> smaller mean
+    mean_001 = result.mean_series((0.01, 0.5), "hf")[-1][1]
+    mean_03 = result.mean_series((0.3, 0.5), "hf")[-1][1]
+    assert mean_03 < mean_001
+
+    benchmark.extra_info["wide_flatness"] = {
+        str(iv): round(result.flatness(iv, "hf"), 4) for iv in WIDE_INTERVALS
+    }

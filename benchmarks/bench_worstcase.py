@@ -1,0 +1,43 @@
+"""Bench E8 -- bound validity and tightness via adversarial search.
+
+Regenerates the bound-tightness table: for each algorithm and α, the
+worst ratio any structured adversary achieves vs the theorem bound.  A
+single violation fails the bench -- this is the executable acceptance
+test for the OCR-reconstructed bound formulas (DESIGN.md).
+"""
+
+import pytest
+
+from repro.experiments.worstcase_study import (
+    render_worstcase_study,
+    run_worstcase_study,
+)
+
+from _common import full_scale, run_once, write_artifact
+
+
+def test_worstcase_study(benchmark):
+    repeats = 10 if full_scale() else 4
+    result = run_once(
+        benchmark,
+        lambda: run_worstcase_study(repeats=repeats),
+    )
+    write_artifact("worstcase_study", render_worstcase_study(result))
+
+    # validity: the search itself raises on violation; belt-and-braces:
+    for rep in result.reports.values():
+        assert rep.tightness <= 1.0 + 1e-9
+
+    # HF's bound is close to achievable (esp. alpha >= 1/3, where even
+    # splits at N = 2^k - 1 approach ratio 2 = r_alpha)
+    assert result.get("hf", 1 / 3).tightness > 0.95
+
+    # BA's bound carries the loose e-factor of Lemma 6: never tight
+    assert result.max_tightness("ba") < 0.9
+
+    benchmark.extra_info["hf_max_tightness"] = round(
+        result.max_tightness("hf"), 3
+    )
+    benchmark.extra_info["ba_max_tightness"] = round(
+        result.max_tightness("ba"), 3
+    )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's motivating pipeline, end to end.
+
+1. A real PDE problem (Poisson on the unit square) is discretised and
+   solved -- the substrate is not a mock (the residual is checked).
+2. Recursive substructuring (nested dissection, refinement-aware) turns
+   the discretisation into the *FE-tree* of elimination tasks the paper's
+   abstract FE-trees model.
+3. The FE-tree is distributed over N processors with HF and BA.
+4. A dependency-aware estimator reports the resulting parallel speedup:
+   load balance (the paper's objective) vs the elimination critical path
+   (the Amdahl term no balancer can remove).
+
+Run:  python examples/fem_substructuring_solve.py [N_PROCESSORS] [GRID]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import probe_bisector_quality, run_ba, run_hf
+from repro.fem import (
+    PoissonProblem,
+    dissection_fe_tree,
+    estimate_parallel_solve,
+    manufactured_solution,
+)
+from repro.problems import gaussian_hotspot_density
+
+
+def main() -> None:
+    n_proc = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    grid = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    # 1. the actual PDE solve (validates the substrate)
+    u_exact, f = manufactured_solution()
+    poisson = PoissonProblem(grid, grid, f)
+    u = poisson.solve()
+    xg, yg = poisson.grid()
+    err = float(np.abs(u - u_exact(xg, yg)).max())
+    print(
+        f"Poisson {grid}x{grid}: solved, max error vs analytic "
+        f"{err:.2e}, residual {poisson.residual_norm(u.ravel()):.1e}\n"
+    )
+
+    # 2. recursive substructuring with a refinement hot spot
+    density = gaussian_hotspot_density(
+        (grid, grid), n_hotspots=1, peak=25.0, seed=7
+    )
+    tree = dissection_fe_tree(grid, grid, density=density)
+    report = probe_bisector_quality(tree, max_nodes=128)
+    print(
+        f"FE-tree: {tree.n_nodes} elimination tasks, "
+        f"{tree.weight:.3e} flops total, bisector quality alpha-hat >= "
+        f"{report.min_alpha:.3f}\n"
+    )
+
+    # 3 + 4. balance and estimate
+    print(f"{'algorithm':<6} {'ratio':>7} {'max load':>12} {'speedup':>9} {'eff':>6}")
+    for name, runner in [("HF", run_hf), ("BA", run_ba)]:
+        fresh = dissection_fe_tree(grid, grid, density=density)
+        part = runner(fresh, n_proc)
+        est = estimate_parallel_solve(fresh, part)
+        print(
+            f"{name:<6} {part.ratio:>7.3f} {est.max_processor_flops:>12.3e} "
+            f"{est.speedup:>9.2f} {est.efficiency:>6.2f}"
+        )
+    fresh = dissection_fe_tree(grid, grid, density=density)
+    est = estimate_parallel_solve(fresh, run_hf(fresh, n_proc))
+    crit_frac = est.critical_path_flops / est.serial_flops
+    print(
+        f"\nelimination critical path = {100 * crit_frac:.0f}% of the serial "
+        "flops: with near-perfect balance the speedup is capped by the "
+        "top-separator chain -- the Amdahl term the paper's load balancing "
+        "addresses everything *around*."
+    )
+
+
+if __name__ == "__main__":
+    main()

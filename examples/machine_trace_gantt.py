@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Visualise the algorithms' execution on the simulated machine.
+
+Runs BA and PHF with event recording and renders ASCII Gantt charts --
+the paper's running-time story at a glance: BA's communication-free
+pipeline of bisect/send pairs versus PHF's alternation of local work and
+global collective rounds.
+
+Run:  python examples/machine_trace_gantt.py [N]
+"""
+
+import sys
+
+from repro import SyntheticProblem, UniformAlpha
+from repro.simulator import MachineConfig, render_gantt, simulate_ba, simulate_phf
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    sampler = UniformAlpha(0.1, 0.5)
+    config = MachineConfig(record_events=True)
+
+    ba = simulate_ba(SyntheticProblem(1.0, sampler, seed=31), n, config=config)
+    print(
+        render_gantt(
+            ba.events,
+            n,
+            width=72,
+            title=f"BA on N={n}: makespan {ba.parallel_time:.0f}, "
+            f"{ba.n_messages} messages, 0 collectives",
+        )
+    )
+    print()
+
+    phf = simulate_phf(SyntheticProblem(1.0, sampler, seed=31), n, config=config)
+    print(
+        render_gantt(
+            phf.events,
+            n,
+            width=72,
+            title=f"PHF on N={n}: makespan {phf.parallel_time:.0f}, "
+            f"{phf.n_messages} messages, {phf.n_collectives} collectives "
+            f"(the '=' walls)",
+        )
+    )
+    print(
+        "\nSame final partition (Theorem 3), very different execution: BA "
+        "finishes in the depth of its bisection tree; PHF trades extra "
+        "collective rounds for reproducing HF's provably better balance."
+    )
+
+
+if __name__ == "__main__":
+    main()

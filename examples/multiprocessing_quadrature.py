@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""End-to-end: partition with BA, then *actually* compute in parallel.
+
+Everything else in this repo measures balance abstractly; this example
+closes the loop.  A 2-D integral with a sharp peak is split into per-CPU
+boxes by Algorithm BA (work-estimate-driven), each worker process then
+integrates its boxes on a fine grid, and we compare the measured
+wall-clock times against a naive equal-area split of the same domain.
+
+Run:  python examples/multiprocessing_quadrature.py [N_WORKERS]
+"""
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro import run_ba
+from repro.problems import QuadratureProblem
+
+SHARPNESS = 60.0
+CENTER = (0.23, 0.71)
+
+
+def integrand(x: np.ndarray) -> np.ndarray:
+    """Gaussian peak (module-level so worker processes can unpickle it)."""
+    c = np.asarray(CENTER)
+    d2 = ((x - c) ** 2).sum(axis=-1)
+    return np.exp(-SHARPNESS * d2)
+
+
+def integrate_box(args) -> tuple:
+    """Worker: integrate one box; resolution adapts to estimated work."""
+    lower, upper, weight = args
+    t0 = time.perf_counter()
+    # grid resolution proportional to the work estimate -- mimicking an
+    # adaptive code that spends effort where the integrand is hard
+    # (capped so a single box never needs more than ~tens of MB)
+    points = int(np.clip(1200 * np.sqrt(weight / 0.002), 64, 1600))
+    xs = np.linspace(lower[0], upper[0], points)
+    ys = np.linspace(lower[1], upper[1], points)
+    grid = np.stack(np.meshgrid(xs, ys, indexing="ij"), axis=-1)
+    vals = integrand(grid)
+    area = (upper[0] - lower[0]) * (upper[1] - lower[1])
+    result = float(vals.mean() * area)
+    return result, time.perf_counter() - t0
+
+
+def equal_area_boxes(n: int):
+    """Naive baseline: n equal-width strips."""
+    edges = np.linspace(0.0, 1.0, n + 1)
+    box = QuadratureProblem([0, 0], [1, 1], integrand, samples_per_axis=9)
+    out = []
+    for k in range(n):
+        sub = QuadratureProblem(
+            [edges[k], 0.0], [edges[k + 1], 1.0], integrand, samples_per_axis=9
+        )
+        # rescale the work estimates to the same total as `box`
+        out.append(((edges[k], 0.0), (edges[k + 1], 1.0), sub.weight))
+    total = sum(w for _, _, w in out)
+    return [(lo, hi, w * box.weight / total) for lo, hi, w in out]
+
+
+def run_pool(boxes, n_workers):
+    t0 = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        results = list(pool.map(integrate_box, boxes))
+    wall = time.perf_counter() - t0
+    total = sum(r for r, _ in results)
+    times = [t for _, t in results]
+    return total, wall, times
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+    problem = QuadratureProblem(
+        [0.0, 0.0], [1.0, 1.0], integrand, samples_per_axis=9, min_alpha=0.02
+    )
+    partition = run_ba(problem, n)
+    ba_boxes = [
+        (tuple(p.lower), tuple(p.upper), p.weight) for p in partition.pieces
+    ]
+    naive_boxes = equal_area_boxes(n)
+
+    print(f"integrating a sharp 2-D peak on {n} worker processes\n")
+    for name, boxes in [("BA work-balanced", ba_boxes), ("equal-area naive", naive_boxes)]:
+        total, wall, times = run_pool(boxes, n)
+        imbalance = max(times) / (sum(times) / len(times))
+        print(
+            f"{name:<18} integral={total:.6f}  wall={wall:5.2f}s  "
+            f"worker-time imbalance={imbalance:.2f}x"
+        )
+        bars = "  ".join(f"{t:4.2f}s" for t in times)
+        print(f"{'':<18} per-worker compute: {bars}\n")
+
+    print(
+        "The BA partition's estimated-work balance translates into "
+        "balanced measured compute times; the equal-area split leaves the "
+        "peak's worker as the straggler."
+    )
+
+
+if __name__ == "__main__":
+    main()

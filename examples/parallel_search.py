@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Parallel backtrack search / branch-and-bound (paper's reference [9]).
+
+A synthetic branch-and-bound tree's frontier is split over processors
+with HF; the example reports the per-processor work estimates and the
+projected parallel speedup (ideal speedup divided by the achieved ratio)
+-- the quantity a search practitioner actually cares about.
+
+Run:  python examples/parallel_search.py [N_PROCESSORS]
+"""
+
+import sys
+
+from repro import probe_bisector_quality, run_ba, run_hf
+from repro.problems import SearchSpaceProblem
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+
+    space = SearchSpaceProblem.root(
+        total_work=1.0, seed=2026, min_children=2, max_children=6,
+        concentration=1.0,  # lumpy child estimates: a hard search space
+    )
+    report = probe_bisector_quality(space, max_nodes=200)
+    print(
+        f"branch-and-bound search space, frontier bisection quality "
+        f"alpha-hat in [{report.min_alpha:.3f}, {report.max_alpha:.3f}]\n"
+    )
+
+    for name, runner in [("HF", run_hf), ("BA", run_ba)]:
+        part = runner(space, n)
+        part.validate()
+        speedup = n / part.ratio
+        print(
+            f"{name}: ratio {part.ratio:.3f} -> projected speedup "
+            f"{speedup:.1f}x on {n} processors"
+        )
+        workers = " ".join(
+            f"{p.weight:6.4f}({p.n_frontier_nodes:2d})" for p in part.pieces
+        )
+        print(f"    per-worker work(frontier nodes): {workers}\n")
+
+    print(
+        "Each worker receives a set of frontier subtrees whose estimated "
+        "work is near w/N; HF's heaviest-first splitting keeps the largest "
+        "share closest to ideal (Theorem 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

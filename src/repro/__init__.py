@@ -1,0 +1,107 @@
+"""repro -- reproduction of *Parallel Load Balancing for Problems with
+Good Bisectors* (Bischof, Ebner, Erlebach; IPPS 1999).
+
+Quick start::
+
+    from repro import SyntheticProblem, UniformAlpha, run_hf
+
+    p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=42)
+    partition = run_hf(p, 64)
+    print(partition.ratio)        # max piece weight / ideal weight
+
+Package layout:
+
+* :mod:`repro.core` -- algorithms HF, PHF, BA, BA-HF; bounds; metrics.
+* :mod:`repro.problems` -- concrete problem families with α-bisectors.
+* :mod:`repro.simulator` -- discrete-event model of the paper's parallel
+  machine (unit-cost bisections/sends, log-cost collectives).
+* :mod:`repro.experiments` -- the Monte-Carlo harness reproducing Table 1,
+  Figure 5 and the narrated studies of Section 4.
+"""
+
+from repro.core import (
+    BisectableProblem,
+    BisectionNode,
+    BisectionTree,
+    Partition,
+    RatioSample,
+    assert_partition_within_bound,
+    ba_bound,
+    ba_final_weights,
+    ba_split,
+    bahf_bound,
+    bahf_final_weights,
+    bahf_threshold,
+    bound_for,
+    hf_bound,
+    hf_final_weights,
+    phf_bound,
+    phf_threshold,
+    probe_bisector_quality,
+    r_alpha,
+    ratio,
+    run_ba,
+    run_ba_prime,
+    run_bahf,
+    run_hf,
+    run_phf,
+    summarize_ratios,
+)
+from repro.problems import (
+    AlphaSampler,
+    BetaAlpha,
+    DiscreteAlpha,
+    FETreeProblem,
+    FixedAlpha,
+    GridDomainProblem,
+    ListProblem,
+    QuadratureProblem,
+    SyntheticProblem,
+    UniformAlpha,
+    random_fe_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BisectableProblem",
+    "BisectionNode",
+    "BisectionTree",
+    "Partition",
+    "RatioSample",
+    "assert_partition_within_bound",
+    "ba_bound",
+    "ba_final_weights",
+    "ba_split",
+    "bahf_bound",
+    "bahf_final_weights",
+    "bahf_threshold",
+    "bound_for",
+    "hf_bound",
+    "hf_final_weights",
+    "phf_bound",
+    "phf_threshold",
+    "probe_bisector_quality",
+    "r_alpha",
+    "ratio",
+    "run_ba",
+    "run_ba_prime",
+    "run_bahf",
+    "run_hf",
+    "run_phf",
+    "summarize_ratios",
+    # problems
+    "AlphaSampler",
+    "BetaAlpha",
+    "DiscreteAlpha",
+    "FETreeProblem",
+    "FixedAlpha",
+    "GridDomainProblem",
+    "ListProblem",
+    "QuadratureProblem",
+    "SyntheticProblem",
+    "UniformAlpha",
+    "random_fe_tree",
+]

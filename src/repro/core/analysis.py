@@ -1,0 +1,164 @@
+"""Analysis tools for recorded bisection trees.
+
+The paper's proofs argue along the bisection tree: per-level weight decay
+(phase 1 of PHF), root-to-leaf contraction (Theorem 7's path argument),
+the per-step optimality of BA's processor split (Lemma 4) and the
+per-processor weight of intermediate BA nodes (Lemma 6).  This module
+turns those arguments into *checkable audits* over trees recorded with
+``record_tree=True``, plus general tree statistics used by the runtime
+study and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import math
+
+from repro.core.bounds import ba_step_bound
+from repro.core.partition import Partition
+from repro.core.tree import BisectionNode, BisectionTree
+
+__all__ = [
+    "level_profile",
+    "path_contractions",
+    "Lemma4Violation",
+    "audit_lemma4",
+    "audit_lemma6",
+    "audit_phase1_depth",
+    "tree_statistics",
+]
+
+
+def level_profile(tree: BisectionTree) -> Dict[int, Tuple[int, float]]:
+    """Per-depth ``(node count, max weight)`` -- the PHF phase-1 picture.
+
+    A node at depth d has weight at most ``w(p)·(1-α)^d``; the profile
+    makes the realised decay visible.
+    """
+    profile: Dict[int, Tuple[int, float]] = {}
+    for node in tree.nodes():
+        count, mx = profile.get(node.depth, (0, 0.0))
+        profile[node.depth] = (count + 1, max(mx, node.weight))
+    return profile
+
+
+def path_contractions(tree: BisectionTree) -> List[float]:
+    """Weight contraction ``w(leaf)/w(root)`` per root-to-leaf path."""
+    root_w = tree.root.weight
+    return [leaf.weight / root_w for leaf in tree.leaves()]
+
+
+@dataclass(frozen=True)
+class Lemma4Violation:
+    """A BA step that broke Lemma 4's per-step bound (should never exist)."""
+
+    depth: int
+    parent_weight: float
+    n: int
+    achieved: float
+    bound: float
+
+
+def _ba_payload(node: BisectionNode) -> Optional[dict]:
+    if isinstance(node.payload, dict) and "n" in node.payload:
+        return node.payload
+    return None
+
+
+def audit_lemma4(partition: Partition) -> List[Lemma4Violation]:
+    """Check Lemma 4 at every internal node of a recorded BA tree.
+
+    Lemma 4: at each BA bisection of a problem ``q`` with ``n ≥ 2``
+    processors, ``max(w(q1)/n1, w(q2)/n2) ≤ w(q)/(n-1)``.
+
+    Requires a partition produced by ``run_ba(..., record_tree=True)``
+    (tree payloads carry the processor assignments).  Returns the list of
+    violations -- empty for a correct implementation, which is what the
+    tests assert.
+    """
+    if partition.tree is None:
+        raise ValueError("partition has no recorded tree (use record_tree=True)")
+    if _ba_payload(partition.tree.root) is None:
+        raise ValueError(
+            "tree payloads carry no processor assignments; audit_lemma4 "
+            "applies to BA partitions recorded with record_tree=True"
+        )
+    violations: List[Lemma4Violation] = []
+    for node in partition.tree.nodes():
+        if node.is_leaf:
+            continue
+        info = _ba_payload(node)
+        if info is None or info["n"] < 2:
+            continue
+        c1, c2 = node.children
+        i1, i2 = _ba_payload(c1), _ba_payload(c2)
+        if i1 is None or i2 is None:
+            continue
+        achieved = max(c1.weight / i1["n"], c2.weight / i2["n"])
+        bound = ba_step_bound(node.weight, info["n"])
+        if achieved > bound * (1 + 1e-12):
+            violations.append(
+                Lemma4Violation(
+                    depth=node.depth,
+                    parent_weight=node.weight,
+                    n=info["n"],
+                    achieved=achieved,
+                    bound=bound,
+                )
+            )
+    return violations
+
+
+def audit_lemma6(partition: Partition) -> float:
+    """Largest ``(w(p̂)/n̂) / (w(p)/N)`` over BA nodes with ``n̂ ≥ 2``.
+
+    Lemma 6 (reconstructed) bounds this per-processor overload factor of
+    intermediate BA subproblems by ``e``; the audit returns the realised
+    maximum so tests/benches can assert it.
+    """
+    if partition.tree is None:
+        raise ValueError("partition has no recorded tree (use record_tree=True)")
+    root_info = _ba_payload(partition.tree.root)
+    if root_info is None:
+        raise ValueError("audit_lemma6 needs a BA tree with processor payloads")
+    ideal = partition.tree.root.weight / root_info["n"]
+    worst = 1.0
+    for node in partition.tree.nodes():
+        info = _ba_payload(node)
+        if info is None or info["n"] < 2:
+            continue
+        worst = max(worst, (node.weight / info["n"]) / ideal)
+    return worst
+
+
+def audit_phase1_depth(tree: BisectionTree, alpha: float) -> bool:
+    """Check the depth/weight relation behind PHF's phase-1 bound.
+
+    Every node at depth ``d`` must weigh at most ``w(p)·(1-α)^d`` (each
+    bisection leaves at most a ``1-α`` fraction on either side).
+    """
+    root_w = tree.root.weight
+    for node in tree.nodes():
+        if node.weight > root_w * (1.0 - alpha) ** node.depth * (1 + 1e-9):
+            return False
+    return True
+
+
+def tree_statistics(tree: BisectionTree) -> dict:
+    """Summary statistics of a bisection tree (for reports/examples)."""
+    leaves = tree.leaves()
+    depths = [leaf.depth for leaf in leaves]
+    alphas = tree.observed_alphas()
+    return {
+        "n_leaves": len(leaves),
+        "n_bisections": tree.num_bisections,
+        "height": tree.height,
+        "min_leaf_depth": tree.min_leaf_depth,
+        "mean_leaf_depth": sum(depths) / len(depths) if depths else 0.0,
+        "min_alpha": min(alphas) if alphas else None,
+        "mean_alpha": sum(alphas) / len(alphas) if alphas else None,
+        "max_leaf_weight": max(leaf.weight for leaf in leaves),
+        "min_leaf_weight": min(leaf.weight for leaf in leaves),
+    }

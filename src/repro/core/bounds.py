@@ -1,0 +1,188 @@
+"""Worst-case performance bounds (Theorems 2, 7, 8; Lemmas 4, 5, 6).
+
+All bounds are expressed as a bound on the *ratio*
+
+    max_i w(p_i) / (w(p) / N)
+
+so a perfectly balanced partition has ratio 1 and every partition into at
+most N parts trivially has ratio ≤ N (one part may hold everything).
+
+OCR reconstruction
+------------------
+The scanned paper's formulas are partially garbled; the forms implemented
+here were reconstructed from the surviving plain-language claims and are
+validated by tests:
+
+* Theorem 2 (HF):  ``r_α = 2`` for ``α ≥ 1/3``, else
+  ``(1/α) · (1-α)^(⌊1/α⌋ - 2)``.  See :func:`r_alpha` for why the ⌈·⌉
+  variant was rejected (real HF runs exceed it) and how the paper's quoted
+  values fare; validated adversarially in ``tests/test_properties.py``.
+* Theorem 7 (BA):  ``e · (1/α) · (1-α)^(⌈1/(2α)⌉ - 1)`` for N > 1/α, and
+  Lemma 5 (``N · (1-α)^(⌊N/2⌋)``) for N ≤ 1/α.  The structure (an ``e``
+  factor from Lemma 6, a (1-α)-power from Lemma 5, a 1/(1-α) step factor
+  from Lemma 4) follows the proof sketch in the paper.
+* Theorem 8 (BA-HF): ``e^((1-α)/λ) · r_α``.  This reproduces the paper's
+  closing remark that choosing ``λ ≥ 1/ln(1+ε)`` makes BA-HF's guarantee at
+  most ``(1+ε)`` times HF's.
+
+Every returned bound is additionally clamped by the trivial bound ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.problem import check_alpha
+
+__all__ = [
+    "r_alpha",
+    "hf_bound",
+    "phf_bound",
+    "ba_bound",
+    "ba_small_n_bound",
+    "bahf_bound",
+    "ba_step_bound",
+    "phf_phase2_max_iterations",
+    "phf_phase1_max_depth",
+    "bound_for",
+]
+
+
+def r_alpha(alpha: float) -> float:
+    """``r_α`` of Theorem 2: HF's worst-case ratio for α-bisector classes.
+
+    Implemented as::
+
+        r_α = 2                                for α ≥ 1/3
+        r_α = (1/α) · (1-α)^(⌊1/α⌋ - 2)        for α < 1/3
+
+    Validity: an adversarial search over fixed/mixed/random bisection
+    sequences (tests + ``benchmarks``) finds no HF run exceeding this bound,
+    while the superficially plausible ``⌈1/α⌉`` variant *is* exceeded (e.g.
+    fixed α̂ = 0.3, N = 16 achieves ratio 1.646 > 1.633).  The paper's
+    quoted values: ``r_{1/3} = 2`` holds exactly (the α<1/3 branch is
+    continuous at 1/3: 3·(2/3) = 2); ``r_α < 10`` for α = 0.04 holds
+    (9.776); the quoted "< 3 for α > 1 - 2^(-1/4) ≈ 0.159" holds for our
+    form only from α ≈ 0.21 -- the paper's exact sharper constant could not
+    be recovered from the damaged source, so we keep the provably-safe
+    variant (see DESIGN.md, OCR-reconstruction note).
+    """
+    alpha = check_alpha(alpha)
+    if alpha >= 1.0 / 3.0:
+        return 2.0
+    exponent = math.floor(1.0 / alpha) - 2
+    return (1.0 / alpha) * (1.0 - alpha) ** exponent
+
+
+def hf_bound(alpha: float, n: int) -> float:
+    """Theorem 2 ratio bound for Algorithm HF on ``n`` processors.
+
+    ``r_α`` is independent of ``n``; we clamp by the trivial bound ``n``
+    (with fewer processors than 1/r_α the trivial bound is tighter).
+    """
+    _check_n(n)
+    return min(float(n), r_alpha(alpha))
+
+
+def phf_bound(alpha: float, n: int) -> float:
+    """Theorem 3: PHF produces the same partition as HF, hence HF's bound."""
+    return hf_bound(alpha, n)
+
+
+def ba_small_n_bound(alpha: float, n: int) -> float:
+    """Lemma 5 ratio bound for BA when ``n ≤ 1/α``.
+
+    Weight form: ``max_i w(p_i) ≤ w(p) · (1-α)^(⌊n/2⌋)``; as a ratio this is
+    ``n · (1-α)^(⌊n/2⌋)``.
+    """
+    alpha = check_alpha(alpha)
+    _check_n(n)
+    return n * (1.0 - alpha) ** (n // 2)
+
+
+def ba_bound(alpha: float, n: int) -> float:
+    """Theorem 7 ratio bound for Algorithm BA.
+
+    ``e · (1/α) · (1-α)^(⌈1/(2α)⌉ - 1)`` for ``n > 1/α``; Lemma 5's bound for
+    ``n ≤ 1/α``; always clamped by the trivial bound ``n``.
+    """
+    alpha = check_alpha(alpha)
+    _check_n(n)
+    if n <= 1.0 / alpha:
+        return min(float(n), ba_small_n_bound(alpha, n))
+    exponent = math.ceil(1.0 / (2.0 * alpha)) - 1
+    value = math.e * (1.0 / alpha) * (1.0 - alpha) ** exponent
+    return min(float(n), value)
+
+
+def bahf_bound(alpha: float, n: int, lam: float = 1.0) -> float:
+    """Theorem 8 ratio bound for Algorithm BA-HF with threshold ``λ``.
+
+    ``e^((1-α)/λ) · r_α``: the BA phase hands HF a subproblem whose
+    weight-per-processor exceeds the ideal by at most ``e^((1-α)/λ)``
+    (Lemma 6 applied at the switch-over point ``N < λ/α + 1``), after which
+    HF's guarantee applies.  ``λ → ∞`` recovers HF's bound; the paper's
+    recipe ``λ ≥ 1/ln(1+ε)`` yields at most ``(1+ε)·r_α``.
+    """
+    alpha = check_alpha(alpha)
+    _check_n(n)
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive, got {lam}")
+    value = math.exp((1.0 - alpha) / lam) * r_alpha(alpha)
+    return min(float(n), value)
+
+
+def ba_step_bound(weight: float, n: int) -> float:
+    """Lemma 4: one BA step guarantees ``max_i w(p_i)/N_i ≤ w(p)/(N-1)``.
+
+    Returns the right-hand side; callers compare the realised per-processor
+    weights of the two children against it.
+    """
+    if n < 2:
+        raise ValueError(f"Lemma 4 requires n >= 2, got {n}")
+    return weight / (n - 1)
+
+
+def phf_phase2_max_iterations(alpha: float) -> int:
+    """Paper bound on PHF phase-2 iterations: ``⌈(1/α) · ln(1/α)⌉``.
+
+    Each iteration shrinks the maximum remaining weight by ``(1-α)`` and the
+    weight spread to cover is ``r_α``; the paper bounds the iteration count
+    by ``(1/α)·ln(1/α)``.
+    """
+    alpha = check_alpha(alpha)
+    return max(1, math.ceil((1.0 / alpha) * math.log(1.0 / alpha)))
+
+
+def phf_phase1_max_depth(alpha: float, n: int) -> int:
+    """Paper bound on PHF phase-1 bisection-tree depth: ``⌈log_{1/(1-α)} N⌉``.
+
+    A node at depth d has weight ≤ w(p)·(1-α)^d, so depth cannot exceed
+    ``log N / log(1/(1-α))`` before dropping below ``w(p)/N``.
+    """
+    alpha = check_alpha(alpha)
+    _check_n(n)
+    if n == 1:
+        return 0
+    return math.ceil(math.log(n) / math.log(1.0 / (1.0 - alpha)))
+
+
+def bound_for(algorithm: str, alpha: float, n: int, lam: float = 1.0) -> float:
+    """Dispatch the ratio bound by algorithm name ("hf"/"phf"/"ba"/"bahf")."""
+    key = algorithm.lower().replace("-", "").replace("_", "")
+    if key == "hf":
+        return hf_bound(alpha, n)
+    if key == "phf":
+        return phf_bound(alpha, n)
+    if key == "ba":
+        return ba_bound(alpha, n)
+    if key == "bahf":
+        return bahf_bound(alpha, n, lam)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _check_n(n: int) -> None:
+    if not isinstance(n, (int,)) or isinstance(n, bool):
+        raise TypeError(f"n must be an int, got {type(n).__name__}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")

@@ -1,0 +1,236 @@
+"""Extension: load balancing onto processors with different speeds.
+
+The paper assumes identical processors (ideal piece weight ``w(p)/N``).
+Real clusters are heterogeneous; the natural generalisation makes the
+ideal per-processor load proportional to speed: processor ``i`` with
+speed ``s_i`` should receive ``w(p)·s_i/S`` (``S = Σ s_i``), and the
+quality measure becomes the *completion-time ratio*
+
+    ratio = max_i (w_i / s_i) / (w(p) / S)
+
+(1.0 = every processor finishes simultaneously).  Two algorithms
+generalise directly:
+
+* **Weighted BA** -- Figure 3's recursion with the processor *range*
+  replaced by a contiguous run of the speed sequence: a bisection into
+  ``(p1, p2)`` picks the cut of the speed run that minimises
+  ``max(w1/S1, w2/S2)`` (found by scanning the prefix sums; the cost is
+  unimodal in the cut, exactly like Lemma 4's floor/ceil argument).
+  Everything that makes BA attractive survives: no global communication,
+  range-based processor management.
+* **Weighted HF** -- run HF's bisection loop to ``N`` pieces, then match
+  pieces to processors by sorted rank (heaviest piece ↔ fastest
+  processor), which minimises ``max w_i/s_i`` over all bijections.
+
+With all speeds equal both reduce exactly to the paper's algorithms
+(tested).  This module is an extension beyond the paper; DESIGN.md §4
+lists it among the ablations/extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hf import run_hf
+from repro.core.problem import BisectableProblem
+
+__all__ = [
+    "weighted_ratio",
+    "split_speed_run",
+    "HeterogeneousPartition",
+    "run_ba_heterogeneous",
+    "run_hf_heterogeneous",
+    "speed_profile",
+]
+
+
+def _check_speeds(speeds: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(speeds, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("speeds must be a non-empty 1-D sequence")
+    if np.any(arr <= 0):
+        raise ValueError("speeds must be strictly positive")
+    return arr
+
+
+def weighted_ratio(weights: Sequence[float], speeds: Sequence[float]) -> float:
+    """``max_i (w_i/s_i) / (Σw / Σs)``: completion-time imbalance (≥ 1)."""
+    w = np.asarray(weights, dtype=np.float64)
+    s = _check_speeds(speeds)
+    if w.shape != s.shape:
+        raise ValueError(f"{w.size} weights for {s.size} processors")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    ideal = w.sum() / s.sum()
+    return float((w / s).max() / ideal)
+
+
+def split_speed_run(
+    w1: float, w2: float, speeds: Sequence[float]
+) -> Tuple[int, float]:
+    """Best cut of a contiguous speed run for children ``w1 ≥ w2``.
+
+    Returns ``(k, cost)``: the first ``k`` processors serve child 1, the
+    rest child 2, minimising ``cost = max(w1/S1(k), w2/S2(k))``; both
+    sides get at least one processor.  Generalises
+    :func:`repro.core.ba.ba_split` (which it reproduces for unit speeds).
+    """
+    s = _check_speeds(speeds)
+    n = s.size
+    if n < 2:
+        raise ValueError(f"need at least 2 processors to split, got {n}")
+    if w1 < w2 or w2 <= 0:
+        raise ValueError(f"need w1 >= w2 > 0, got {w1}, {w2}")
+    prefix = np.cumsum(s)
+    total = prefix[-1]
+    s1 = prefix[:-1]  # S1(k) for k = 1..n-1
+    s2 = total - s1
+    cost = np.maximum(w1 / s1, w2 / s2)
+    k = int(np.argmin(cost)) + 1
+    return k, float(cost[k - 1])
+
+
+@dataclass
+class HeterogeneousPartition:
+    """Result of a heterogeneous partitioning run."""
+
+    pieces: List[BisectableProblem]
+    #: speeds, in processor order; ``pieces[i]`` runs on speed ``speeds[i]``
+    speeds: List[float]
+    algorithm: str
+    total_weight: float
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.pieces) != len(self.speeds):
+            raise ValueError(
+                f"{len(self.pieces)} pieces for {len(self.speeds)} processors"
+            )
+        _check_speeds(self.speeds)
+
+    @property
+    def weights(self) -> List[float]:
+        return [p.weight for p in self.pieces]
+
+    @property
+    def ratio(self) -> float:
+        """Completion-time ratio (1.0 = all processors finish together)."""
+        return weighted_ratio(self.weights, self.speeds)
+
+    def completion_times(self) -> List[float]:
+        return [p.weight / s for p, s in zip(self.pieces, self.speeds)]
+
+    def validate(self, *, rel_tol: float = 1e-9) -> None:
+        total = sum(self.weights)
+        if abs(total - self.total_weight) > rel_tol * self.total_weight * max(
+            1, len(self.pieces)
+        ):
+            raise ValueError("piece weights do not sum to the total")
+
+
+def run_ba_heterogeneous(
+    problem: BisectableProblem,
+    speeds: Sequence[float],
+) -> HeterogeneousPartition:
+    """Weighted BA: recursive bisection over a contiguous speed run.
+
+    Since the machine's processor numbering is arbitrary, the recursion
+    internally orders the run by descending speed (fast processors first)
+    -- contiguous cuts of a sorted run approximate arbitrary speed-mass
+    splits much better than cuts of a randomly-ordered one -- and the
+    result is scattered back to the caller's ordering.
+    """
+    s = _check_speeds(speeds)
+    total = problem.weight
+    if total <= 0:
+        raise ValueError(f"problem weight must be positive, got {total}")
+
+    order = np.argsort(-s, kind="stable")
+    sorted_speeds = s[order]
+
+    placed_sorted: List[Optional[BisectableProblem]] = [None] * s.size
+    stack: List[Tuple[BisectableProblem, int, int]] = [(problem, 0, s.size)]
+    bisections = 0
+    while stack:
+        q, start, count = stack.pop()
+        if count == 1:
+            placed_sorted[start] = q
+            continue
+        q1, q2 = q.bisect()
+        bisections += 1
+        k, _ = split_speed_run(
+            q1.weight, q2.weight, sorted_speeds[start : start + count]
+        )
+        stack.append((q2, start + k, count - k))
+        stack.append((q1, start, k))
+
+    assert all(p is not None for p in placed_sorted)
+    placed: List[Optional[BisectableProblem]] = [None] * s.size
+    for sorted_pos, original_idx in enumerate(order):
+        placed[int(original_idx)] = placed_sorted[sorted_pos]
+    return HeterogeneousPartition(
+        pieces=list(placed),  # type: ignore[arg-type]
+        speeds=list(s),
+        algorithm="ba_hetero",
+        total_weight=total,
+        meta={"bisections": bisections},
+    )
+
+
+def run_hf_heterogeneous(
+    problem: BisectableProblem,
+    speeds: Sequence[float],
+) -> HeterogeneousPartition:
+    """Weighted HF: HF's pieces, matched to processors by sorted rank.
+
+    Matching the sorted weights to the sorted speeds minimises
+    ``max_i w_i/s_i`` over all bijections (if some ``w_a/s_b`` with
+    ``w_a`` large and ``s_b`` slow were forced, swapping towards sorted
+    order never increases the maximum).
+    """
+    s = _check_speeds(speeds)
+    partition = run_hf(problem, s.size)
+    pieces = partition.pieces
+    order_pieces = sorted(range(len(pieces)), key=lambda i: -pieces[i].weight)
+    order_speeds = np.argsort(-s, kind="stable")
+    placed: List[Optional[BisectableProblem]] = [None] * s.size
+    for piece_idx, proc_idx in zip(order_pieces, order_speeds):
+        placed[int(proc_idx)] = pieces[piece_idx]
+    return HeterogeneousPartition(
+        pieces=list(placed),  # type: ignore[arg-type]
+        speeds=list(s),
+        algorithm="hf_hetero",
+        total_weight=problem.weight,
+        meta={"bisections": partition.num_bisections},
+    )
+
+
+def speed_profile(
+    kind: str,
+    n: int,
+    *,
+    seed: int = 0,
+    spread: float = 4.0,
+) -> np.ndarray:
+    """Named speed profiles for studies.
+
+    ``uniform``: all 1.  ``two_class``: half fast (``spread``), half slow
+    (1).  ``powerlaw``: log-uniform in ``[1, spread]``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if spread < 1.0:
+        raise ValueError(f"spread must be >= 1, got {spread}")
+    if kind == "uniform":
+        return np.ones(n)
+    if kind == "two_class":
+        speeds = np.ones(n)
+        speeds[: n // 2] = spread
+        return speeds
+    if kind == "powerlaw":
+        rng = np.random.default_rng(seed)
+        return np.exp(rng.uniform(0.0, np.log(spread), size=n))
+    raise ValueError(f"unknown profile {kind!r} (uniform/two_class/powerlaw)")

@@ -1,0 +1,121 @@
+"""Load-balance metrics over piece weights.
+
+The paper's single quality measure is the ratio of the maximum piece weight
+to the ideal weight ``w(p)/N``; this module provides it (vectorised, for the
+Monte-Carlo harness) plus the auxiliary statistics used in Section 4
+(min/avg/max over trials, sample variance) and a few standard imbalance
+metrics useful to downstream users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ratio",
+    "imbalance",
+    "normalized_std",
+    "idle_fraction",
+    "RatioSample",
+    "summarize_ratios",
+]
+
+
+def _as_weights(weights: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if np.any(arr <= 0):
+        raise ValueError("weights must be strictly positive")
+    return arr
+
+
+def ratio(weights: Sequence[float], n_processors: int | None = None) -> float:
+    """``max_i w_i / (Σ w_i / N)`` -- the paper's quality measure.
+
+    ``n_processors`` defaults to ``len(weights)`` (no idle processors).
+    A value of 1.0 is perfect balance; ``N`` is the worst possible.
+    """
+    arr = _as_weights(weights)
+    n = len(arr) if n_processors is None else int(n_processors)
+    if n < len(arr):
+        raise ValueError(f"{len(arr)} pieces for {n} processors")
+    return float(arr.max() / (arr.sum() / n))
+
+
+def imbalance(weights: Sequence[float]) -> float:
+    """``max/mean - 1``: 0 for perfect balance (= ratio - 1, no idles)."""
+    return ratio(weights) - 1.0
+
+
+def normalized_std(weights: Sequence[float]) -> float:
+    """Coefficient of variation of the piece weights (population std/mean)."""
+    arr = _as_weights(weights)
+    return float(arr.std() / arr.mean())
+
+
+def idle_fraction(weights: Sequence[float], n_processors: int) -> float:
+    """Fraction of processors left without a piece."""
+    arr = _as_weights(weights)
+    if n_processors < len(arr):
+        raise ValueError(f"{len(arr)} pieces for {n_processors} processors")
+    return (n_processors - len(arr)) / n_processors
+
+
+@dataclass(frozen=True)
+class RatioSample:
+    """Summary statistics of observed ratios over repeated trials.
+
+    Matches the columns of the paper's Table 1: min / avg / max, plus the
+    sample variance the paper discusses in the text ("the sample variance
+    was very small in all cases ...").
+    """
+
+    n_trials: int
+    minimum: float
+    mean: float
+    maximum: float
+    variance: float
+    std: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_trials": self.n_trials,
+            "min": self.minimum,
+            "avg": self.mean,
+            "max": self.maximum,
+            "var": self.variance,
+            "std": self.std,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"min={self.minimum:.4f} avg={self.mean:.4f} "
+            f"max={self.maximum:.4f} std={self.std:.4f} (n={self.n_trials})"
+        )
+
+
+def summarize_ratios(ratios: Iterable[float]) -> RatioSample:
+    """Aggregate per-trial ratios into a :class:`RatioSample`.
+
+    Uses the unbiased (ddof=1) sample variance, as is standard for the
+    "sample variance" the paper reports; for a single trial the variance
+    is reported as 0.
+    """
+    arr = np.asarray(list(ratios), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one ratio")
+    if np.any(arr < 1.0 - 1e-12):
+        raise ValueError("ratios below 1 are impossible; inputs corrupt")
+    var = float(arr.var(ddof=1)) if arr.size > 1 else 0.0
+    return RatioSample(
+        n_trials=int(arr.size),
+        minimum=float(arr.min()),
+        mean=float(arr.mean()),
+        maximum=float(arr.max()),
+        variance=var,
+        std=var**0.5,
+    )

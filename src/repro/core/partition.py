@@ -1,0 +1,143 @@
+"""Partition results: the output of every load-balancing algorithm.
+
+A partition assigns one subproblem to each of the first ``k ≤ N``
+processors.  The paper allows algorithms to produce *fewer* than N
+subproblems (the remaining processors stay idle); all algorithms here
+produce exactly N pieces whenever N-1 bisections are possible, but the
+data structure keeps the general form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.problem import BisectableProblem
+from repro.core.tree import BisectionTree
+
+__all__ = ["Partition"]
+
+
+@dataclass
+class Partition:
+    """The result of partitioning ``p`` for ``n_processors`` processors.
+
+    Attributes
+    ----------
+    pieces:
+        The output subproblems, in processor order: ``pieces[i]`` is
+        processed by processor ``P_{i+1}`` (the paper numbers processors
+        from 1).
+    total_weight:
+        ``w(p)`` of the original problem.
+    n_processors:
+        The processor count ``N`` the algorithm was asked to target.
+    algorithm:
+        Name of the producing algorithm ("hf", "ba", ...).
+    num_bisections:
+        Bisections performed (== ``len(pieces) - 1`` for binary splitting).
+    tree:
+        The recorded bisection tree, if the caller requested one.
+    meta:
+        Algorithm-specific extras (e.g. PHF round counts, BA ranges).
+    """
+
+    pieces: List[BisectableProblem]
+    total_weight: float
+    n_processors: int
+    algorithm: str = ""
+    num_bisections: int = 0
+    tree: Optional[BisectionTree] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {self.n_processors}")
+        if not self.pieces:
+            raise ValueError("a partition must contain at least one piece")
+        if len(self.pieces) > self.n_processors:
+            raise ValueError(
+                f"{len(self.pieces)} pieces for {self.n_processors} processors"
+            )
+        if self.total_weight <= 0:
+            raise ValueError(f"total weight must be positive, got {self.total_weight}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def weights(self) -> List[float]:
+        """Weights of the pieces, in processor order."""
+        return [p.weight for p in self.pieces]
+
+    @property
+    def max_weight(self) -> float:
+        """``max_i w(p_i)`` -- the objective the paper minimises."""
+        return max(self.weights)
+
+    @property
+    def min_weight(self) -> float:
+        return min(self.weights)
+
+    @property
+    def ideal_weight(self) -> float:
+        """``w(p) / N``: the weight of a perfectly balanced piece."""
+        return self.total_weight / self.n_processors
+
+    @property
+    def ratio(self) -> float:
+        """``max_i w(p_i) / (w(p)/N)`` -- the paper's quality measure (≥ 1)."""
+        return self.max_weight / self.ideal_weight
+
+    @property
+    def idle_processors(self) -> int:
+        """Processors that received no subproblem."""
+        return self.n_processors - len(self.pieces)
+
+    def weight_conservation_error(self) -> float:
+        """|Σ w(p_i) - w(p)| / w(p): should be ~0 (floating-point only)."""
+        return abs(sum(self.weights) - self.total_weight) / self.total_weight
+
+    def validate(self, *, rel_tol: float = 1e-9) -> None:
+        """Check the partition invariants; raise ``ValueError`` on failure."""
+        if self.weight_conservation_error() > rel_tol * max(1, len(self.pieces)):
+            raise ValueError(
+                f"weights do not sum to total: error "
+                f"{self.weight_conservation_error():.3e}"
+            )
+        for i, w in enumerate(self.weights):
+            if w <= 0:
+                raise ValueError(f"piece {i} has non-positive weight {w}")
+        if self.tree is not None:
+            self.tree.validate(rel_tol=rel_tol)
+            if self.tree.num_leaves != len(self.pieces):
+                raise ValueError(
+                    f"tree has {self.tree.num_leaves} leaves but partition "
+                    f"has {len(self.pieces)} pieces"
+                )
+
+    def sorted_weights(self) -> List[float]:
+        """Weights in non-increasing order (for partition comparison)."""
+        return sorted(self.weights, reverse=True)
+
+    def same_pieces_as(self, other: "Partition", *, rel_tol: float = 1e-9) -> bool:
+        """Multiset equality of piece weights (the PHF ≡ HF check).
+
+        Two partitions are "the same" in the paper's sense when they consist
+        of the same subproblems; with deterministic bisection this is
+        equivalent to equality of the weight multisets.
+        """
+        a, b = self.sorted_weights(), other.sorted_weights()
+        if len(a) != len(b):
+            return False
+        scale = max(self.total_weight, other.total_weight)
+        return all(abs(x - y) <= rel_tol * scale for x, y in zip(a, b))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm or 'partition'}: N={self.n_processors} "
+            f"pieces={len(self.pieces)} ratio={self.ratio:.4f} "
+            f"max={self.max_weight:.6g} ideal={self.ideal_weight:.6g}"
+        )

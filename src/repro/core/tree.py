@@ -1,0 +1,221 @@
+"""Bisection trees.
+
+The paper represents a run of a bisection-based load-balancing algorithm on
+input ``(p, N)`` as a binary *bisection tree* ``T_p``: the root is ``p``;
+whenever the algorithm bisects ``q`` into ``q1, q2`` the two children are
+attached under ``q``.  At the end ``T_p`` has exactly ``N`` leaves (the
+output subproblems) and every internal node has exactly two children.
+
+The analyses of Theorems 2/7/8 argue along root-to-leaf paths of this tree
+(depth · (1-α)-contraction per level), so the tree is a first-class object
+here: algorithms can optionally record it, tests assert its invariants, and
+the runtime study uses its depth profile (parallel time of BA is the tree
+height, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+__all__ = ["BisectionNode", "BisectionTree"]
+
+
+@dataclass
+class BisectionNode:
+    """One node of a bisection tree.
+
+    ``payload`` is whatever the recording algorithm wants to attach (the
+    :class:`~repro.core.problem.BisectableProblem` instance, a processor
+    range, ...); the tree machinery only relies on ``weight``.
+    """
+
+    weight: float
+    depth: int = 0
+    payload: object = None
+    children: List["BisectionNode"] = field(default_factory=list)
+    #: order in which the recording algorithm performed the bisection of
+    #: this node (0-based); ``None`` for leaves.
+    bisection_index: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_children(self, left: "BisectionNode", right: "BisectionNode") -> None:
+        """Attach exactly two children (a bisection)."""
+        if self.children:
+            raise ValueError("node already bisected")
+        left.depth = right.depth = self.depth + 1
+        self.children = [left, right]
+
+    def __iter__(self) -> Iterator["BisectionNode"]:
+        """Pre-order traversal of the subtree rooted here (iterative)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+class BisectionTree:
+    """A recorded bisection tree with the invariants of the paper's model."""
+
+    def __init__(self, root: BisectionNode) -> None:
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single(cls, weight: float, payload: object = None) -> "BisectionTree":
+        """A tree consisting of one unbisected root."""
+        return cls(BisectionNode(weight=weight, payload=payload))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[BisectionNode]:
+        """All nodes, pre-order."""
+        return iter(self.root)
+
+    def leaves(self) -> List[BisectionNode]:
+        """The leaves (the output subproblems), left-to-right."""
+        return [n for n in self.root if n.is_leaf]
+
+    def internal_nodes(self) -> List[BisectionNode]:
+        """The bisected nodes, pre-order."""
+        return [n for n in self.root if not n.is_leaf]
+
+    @property
+    def num_leaves(self) -> int:
+        return sum(1 for n in self.root if n.is_leaf)
+
+    @property
+    def num_bisections(self) -> int:
+        return sum(1 for n in self.root if not n.is_leaf)
+
+    @property
+    def height(self) -> int:
+        """Maximum leaf depth (the BA parallel-time proxy of Section 3.2)."""
+        return max((n.depth for n in self.root if n.is_leaf), default=0)
+
+    @property
+    def min_leaf_depth(self) -> int:
+        return min((n.depth for n in self.root if n.is_leaf), default=0)
+
+    def leaf_weights(self) -> List[float]:
+        return [n.weight for n in self.leaves()]
+
+    def max_leaf_weight(self) -> float:
+        return max(n.weight for n in self.leaves())
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+
+    def validate(self, *, rel_tol: float = 1e-9) -> None:
+        """Assert structural invariants; raises ``ValueError`` on violation.
+
+        * every internal node has exactly two children,
+        * child weights sum to the parent weight (weight conservation),
+        * child depths are parent depth + 1,
+        * all weights are strictly positive.
+        """
+        for node in self.root:
+            if node.weight <= 0:
+                raise ValueError(f"non-positive weight {node.weight} at depth {node.depth}")
+            if node.is_leaf:
+                continue
+            if len(node.children) != 2:
+                raise ValueError(
+                    f"internal node at depth {node.depth} has "
+                    f"{len(node.children)} children (expected 2)"
+                )
+            a, b = node.children
+            if abs((a.weight + b.weight) - node.weight) > rel_tol * node.weight:
+                raise ValueError(
+                    f"weight not conserved at depth {node.depth}: "
+                    f"{a.weight} + {b.weight} != {node.weight}"
+                )
+            for c in node.children:
+                if c.depth != node.depth + 1:
+                    raise ValueError("child depth is not parent depth + 1")
+
+    def observed_alphas(self) -> List[float]:
+        """``α̂`` of every bisection: lighter-child share of each internal node."""
+        out = []
+        for node in self.root:
+            if node.is_leaf:
+                continue
+            a, b = node.children
+            out.append(min(a.weight, b.weight) / node.weight)
+        return out
+
+    def min_observed_alpha(self) -> float:
+        """The worst bisection quality seen anywhere in the tree."""
+        alphas = self.observed_alphas()
+        if not alphas:
+            raise ValueError("tree has no bisections")
+        return min(alphas)
+
+    # ------------------------------------------------------------------
+    # Rendering / export
+    # ------------------------------------------------------------------
+
+    def render(
+        self,
+        *,
+        max_depth: Optional[int] = None,
+        fmt: Callable[[BisectionNode], str] = lambda n: f"{n.weight:.4g}",
+    ) -> str:
+        """ASCII rendering (for examples and debugging)."""
+        lines: List[str] = []
+
+        def walk(node: BisectionNode, prefix: str, tail: bool) -> None:
+            connector = "`-- " if tail else "|-- "
+            lines.append(prefix + connector + fmt(node))
+            if max_depth is not None and node.depth >= max_depth:
+                if not node.is_leaf:
+                    lines.append(prefix + ("    " if tail else "|   ") + "`-- ...")
+                return
+            ext = "    " if tail else "|   "
+            for i, child in enumerate(node.children):
+                walk(child, prefix + ext, i == len(node.children) - 1)
+
+        lines.append(fmt(self.root))
+        for i, child in enumerate(self.root.children):
+            walk(child, "", i == len(self.root.children) - 1)
+        return "\n".join(lines)
+
+    def depth_histogram(self) -> dict:
+        """Leaf count per depth -- the phase-1 analysis quantity of PHF."""
+        hist: dict = {}
+        for leaf in self.leaves():
+            hist[leaf.depth] = hist.get(leaf.depth, 0) + 1
+        return hist
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable structure (weights + shape, no payloads)."""
+
+        def conv(node: BisectionNode) -> dict:
+            d = {"w": node.weight}
+            if node.children:
+                d["c"] = [conv(c) for c in node.children]
+            return d
+
+        return conv(self.root)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BisectionTree":
+        """Inverse of :meth:`to_dict`."""
+
+        def conv(d: dict, depth: int) -> BisectionNode:
+            node = BisectionNode(weight=float(d["w"]), depth=depth)
+            for c in d.get("c", []):
+                node.children.append(conv(c, depth + 1))
+            return node
+
+        return cls(conv(data, 0))

@@ -1,0 +1,114 @@
+"""Validation helpers: checking the α-bisector property and partitions.
+
+These utilities back the test suite and are part of the public API so
+downstream users can check that *their* problem class really has the
+α-bisectors they claim before trusting the worst-case bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.bounds import bound_for
+from repro.core.partition import Partition
+from repro.core.problem import BisectableProblem
+
+__all__ = [
+    "BisectorReport",
+    "probe_bisector_quality",
+    "assert_partition_within_bound",
+]
+
+
+@dataclass(frozen=True)
+class BisectorReport:
+    """Result of empirically probing a problem family's bisector quality."""
+
+    #: number of bisections examined
+    n_bisections: int
+    #: worst (smallest) lighter-child share seen
+    min_alpha: float
+    #: best (largest, ≤ 1/2) lighter-child share seen
+    max_alpha: float
+    #: largest relative weight-conservation error seen
+    max_conservation_error: float
+
+    def supports(self, alpha: float, *, rel_tol: float = 1e-9) -> bool:
+        """Whether every probed bisection met the α-guarantee."""
+        return (
+            self.min_alpha >= alpha * (1.0 - rel_tol)
+            and self.max_conservation_error <= rel_tol
+        )
+
+
+def probe_bisector_quality(
+    problem: BisectableProblem,
+    *,
+    max_nodes: int = 1024,
+    min_weight: Optional[float] = None,
+) -> BisectorReport:
+    """Bisect ``problem`` recursively (BFS) and record bisection quality.
+
+    Explores up to ``max_nodes`` bisections; subproblems lighter than
+    ``min_weight`` (default: ``weight(p) / max_nodes``) are not expanded, so
+    the probe terminates even for infinitely divisible classes.
+    """
+    if max_nodes < 1:
+        raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
+    w0 = problem.weight
+    if min_weight is None:
+        min_weight = w0 / max_nodes
+
+    min_alpha = 0.5
+    max_alpha = 0.0
+    max_err = 0.0
+    n = 0
+    queue: List[BisectableProblem] = [problem]
+    while queue and n < max_nodes:
+        q = queue.pop(0)
+        if q.weight < min_weight:
+            continue
+        if getattr(q, "can_bisect", True) is False:
+            continue  # atomic piece (single element/node/cell)
+        q1, q2 = q.bisect()
+        n += 1
+        share = q2.weight / q.weight
+        min_alpha = min(min_alpha, share)
+        max_alpha = max(max_alpha, share)
+        err = abs((q1.weight + q2.weight) - q.weight) / q.weight
+        max_err = max(max_err, err)
+        queue.append(q1)
+        queue.append(q2)
+    if n == 0:
+        raise ValueError("no bisection could be probed (problem too light?)")
+    return BisectorReport(
+        n_bisections=n,
+        min_alpha=min_alpha,
+        max_alpha=max_alpha,
+        max_conservation_error=max_err,
+    )
+
+
+def assert_partition_within_bound(
+    partition: Partition,
+    alpha: float,
+    *,
+    lam: float = 1.0,
+    rel_tol: float = 1e-9,
+) -> float:
+    """Check a partition against its algorithm's worst-case theorem bound.
+
+    Returns the bound; raises ``AssertionError`` if the achieved ratio
+    exceeds it (beyond floating-point tolerance).  This is the master
+    invariant the property-based tests exercise.
+    """
+    bound = bound_for(partition.algorithm, alpha, partition.n_processors, lam)
+    achieved = partition.ratio
+    if achieved > bound * (1.0 + rel_tol):
+        raise AssertionError(
+            f"{partition.algorithm}: ratio {achieved:.6f} exceeds the "
+            f"worst-case bound {bound:.6f} (alpha={alpha}, "
+            f"N={partition.n_processors})"
+        )
+    return bound

@@ -1,0 +1,239 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Usage (installed as ``repro-experiments``, or ``python -m repro.experiments``):
+
+    repro-experiments table1   [--trials T] [--max-n N] [--jobs J] [--csv F]
+    repro-experiments figure5  [--trials T] [--max-n N] [--jobs J] [--csv F]
+    repro-experiments lambda   [--trials T] [--max-n N] [--jobs J]
+    repro-experiments variance [--trials T] [--max-n N] [--jobs J]
+    repro-experiments intervals [--trials T] [--max-n N] [--jobs J]
+    repro-experiments nonpow2  [--trials T] [--jobs J]
+    repro-experiments runtime  [--max-n N]
+    repro-experiments all      [--trials T] [--max-n N] [--jobs J]
+
+``--full`` (or ``REPRO_FULL=1``) selects the paper-scale grid
+(N up to 2^20, 1000 trials) -- expect hours of compute in pure Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import (
+    DEFAULT_N_VALUES,
+    PAPER_N_VALUES,
+    full_scale_requested,
+)
+from repro.experiments.figure5 import render_figure5, run_figure5
+from repro.experiments.interval_study import (
+    render_interval_study,
+    run_interval_study,
+)
+from repro.experiments.lambda_study import render_lambda_study, run_lambda_study
+from repro.experiments.nonpow2_study import (
+    render_nonpow2_study,
+    run_nonpow2_study,
+)
+from repro.experiments.runtime_study import (
+    render_runtime_study,
+    run_runtime_study,
+)
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.tables import sweep_to_csv
+from repro.experiments.variance_study import (
+    render_variance_study,
+    run_variance_study,
+)
+from repro.experiments.topology_study import (
+    render_topology_study,
+    run_topology_study,
+)
+from repro.experiments.distribution_study import (
+    render_distribution_study,
+    run_distribution_study,
+)
+from repro.experiments.worstcase_study import (
+    render_worstcase_study,
+    run_worstcase_study,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the evaluation of 'Parallel Load Balancing for "
+            "Problems with Good Bisectors' (IPPS 1999)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "figure5",
+            "lambda",
+            "variance",
+            "intervals",
+            "nonpow2",
+            "runtime",
+            "topology",
+            "worstcase",
+            "distributions",
+            "families",
+            "report",
+            "all",
+        ],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--trials", type=int, default=None, help="trials per cell")
+    parser.add_argument(
+        "--max-n", type=int, default=None, help="largest processor count"
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--seed", type=int, default=20260706)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale grid (N up to 2^20, 1000 trials); hours of compute",
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, help="also write raw records as CSV"
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="also archive the sweep (table1/figure5) as reloadable JSON",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="output path for the 'report' experiment (default REPORT.md)",
+    )
+    return parser
+
+
+def _grid(args: argparse.Namespace) -> tuple:
+    """(n_values, n_trials) for the chosen scale."""
+    full = args.full or full_scale_requested()
+    n_values = PAPER_N_VALUES if full else DEFAULT_N_VALUES
+    if args.max_n is not None:
+        n_values = tuple(n for n in n_values if n <= args.max_n)
+        if not n_values:
+            raise SystemExit(f"--max-n {args.max_n} removes every N value")
+    trials = args.trials if args.trials is not None else (1000 if full else 200)
+    return n_values, trials
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "report":
+        from repro.experiments.report import generate_report
+
+        target = args.out or "REPORT.md"
+        n_values, trials = _grid(args)
+        path = generate_report(
+            target,
+            n_trials=trials,
+            full=args.full or full_scale_requested(),
+            max_n=args.max_n,
+            seed=args.seed,
+            n_jobs=args.jobs,
+        )
+        print(f"report written to {path}")
+        return 0
+    n_values, trials = _grid(args)
+    kw = dict(n_trials=trials, n_values=n_values, seed=args.seed, n_jobs=args.jobs)
+
+    outputs: List[str] = []
+    csv_payload: Optional[str] = None
+    json_sweep = None
+
+    if args.experiment in ("table1", "all"):
+        result = run_table1(**kw)
+        outputs.append(render_table1(result))
+        csv_payload = sweep_to_csv(result)
+        json_sweep = result
+    if args.experiment in ("figure5", "all"):
+        result = run_figure5(**kw)
+        outputs.append(render_figure5(result))
+        if args.experiment == "figure5":
+            csv_payload = sweep_to_csv(result)
+            json_sweep = result
+    if args.experiment in ("lambda", "all"):
+        outputs.append(render_lambda_study(run_lambda_study(**kw)))
+    if args.experiment in ("variance", "all"):
+        outputs.append(render_variance_study(run_variance_study(**kw)))
+    if args.experiment in ("intervals", "all"):
+        outputs.append(render_interval_study(run_interval_study(**kw)))
+    if args.experiment in ("nonpow2", "all"):
+        outputs.append(
+            render_nonpow2_study(
+                run_nonpow2_study(
+                    n_trials=trials, seed=args.seed, n_jobs=args.jobs
+                )
+            )
+        )
+    if args.experiment in ("runtime", "all"):
+        runtime_ns = tuple(
+            n for n in (2**k for k in range(2, 11)) if args.max_n is None or n <= args.max_n
+        )
+        outputs.append(
+            render_runtime_study(run_runtime_study(n_values=runtime_ns, seed=args.seed))
+        )
+    if args.experiment in ("topology", "all"):
+        topo_ns = tuple(
+            n for n in (16, 64, 256) if args.max_n is None or n <= args.max_n
+        )
+        outputs.append(
+            render_topology_study(
+                run_topology_study(n_values=topo_ns, seed=args.seed)
+            )
+        )
+    if args.experiment in ("worstcase", "all"):
+        outputs.append(render_worstcase_study(run_worstcase_study(seed=args.seed)))
+    if args.experiment in ("families", "all"):
+        from repro.experiments.families_study import (
+            render_families_study,
+            run_families_study,
+        )
+
+        outputs.append(
+            render_families_study(
+                run_families_study(
+                    n_instances=max(5, trials // 20), seed=args.seed
+                )
+            )
+        )
+    if args.experiment in ("distributions", "all"):
+        dist_ns = tuple(
+            n for n in (32, 128, 512) if args.max_n is None or n <= args.max_n
+        )
+        outputs.append(
+            render_distribution_study(
+                run_distribution_study(
+                    n_trials=trials, n_values=dist_ns, seed=args.seed, n_jobs=args.jobs
+                )
+            )
+        )
+
+    print("\n\n".join(outputs))
+    if args.csv and csv_payload is not None:
+        with open(args.csv, "w") as fh:
+            fh.write(csv_payload)
+        print(f"\n[csv written to {args.csv}]", file=sys.stderr)
+    if args.json and json_sweep is not None:
+        from repro.experiments.io import save_sweep
+
+        save_sweep(json_sweep, args.json)
+        print(f"[json written to {args.json}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Experiment configuration objects.
+
+All Section-4 experiments share one shape: a set of algorithms × a set of
+processor counts × an α̂ distribution, ``n_trials`` independent trials
+each, reporting min/avg/max (and variance) of the achieved ratio.  The
+paper's full grid (1000 trials, N = 2^5..2^20) takes hours in pure Python,
+so configurations carry an explicit scale and the benchmarks default to a
+reduced grid unless ``REPRO_FULL=1`` is set (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.problems.samplers import AlphaSampler, UniformAlpha
+
+__all__ = [
+    "PAPER_N_VALUES",
+    "DEFAULT_N_VALUES",
+    "StochasticConfig",
+    "full_scale_requested",
+]
+
+#: The paper's processor counts: N = 2^k for k = 5..20.
+PAPER_N_VALUES: Tuple[int, ...] = tuple(2**k for k in range(5, 21))
+
+#: Reduced default grid used by tests/benchmarks (k = 5..12).
+DEFAULT_N_VALUES: Tuple[int, ...] = tuple(2**k for k in range(5, 13))
+
+
+def full_scale_requested() -> bool:
+    """True when the environment asks for the paper-scale grid."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false", "no")
+
+
+@dataclass(frozen=True)
+class StochasticConfig:
+    """One Monte-Carlo sweep configuration.
+
+    The paper's Table 1 setup is ``StochasticConfig.paper_table1()``;
+    Figure 5's is ``StochasticConfig.paper_figure5()``.
+    """
+
+    sampler: AlphaSampler = field(default_factory=lambda: UniformAlpha(0.01, 0.5))
+    n_values: Tuple[int, ...] = DEFAULT_N_VALUES
+    algorithms: Tuple[str, ...] = ("hf", "bahf", "ba")
+    lam: float = 1.0
+    n_trials: int = 1000
+    seed: int = 20260706
+    #: worker processes for trial-level parallelism (1 = serial)
+    n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {self.n_trials}")
+        if self.lam <= 0:
+            raise ValueError(f"lam must be positive, got {self.lam}")
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if not self.n_values:
+            raise ValueError("n_values must be non-empty")
+        for n in self.n_values:
+            if n < 1:
+                raise ValueError(f"processor counts must be >= 1, got {n}")
+        known = {"hf", "phf", "ba", "bahf"}
+        for algo in self.algorithms:
+            if algo not in known:
+                raise ValueError(f"unknown algorithm {algo!r} (known: {sorted(known)})")
+
+    def scaled(
+        self,
+        *,
+        max_n: Optional[int] = None,
+        n_trials: Optional[int] = None,
+    ) -> "StochasticConfig":
+        """A copy restricted to ``N ≤ max_n`` and/or fewer trials."""
+        cfg = self
+        if max_n is not None:
+            values = tuple(n for n in cfg.n_values if n <= max_n)
+            if not values:
+                raise ValueError(f"max_n={max_n} removes every N value")
+            cfg = replace(cfg, n_values=values)
+        if n_trials is not None:
+            cfg = replace(cfg, n_trials=n_trials)
+        return cfg
+
+    # ------------------------------------------------------------------
+    # Paper presets
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper_table1(cls, **overrides) -> "StochasticConfig":
+        """Table 1: α̂ ~ U[0.01, 0.5], λ = 1.0, 1000 trials, N = 2^5..2^20."""
+        base = cls(
+            sampler=UniformAlpha(0.01, 0.5),
+            n_values=PAPER_N_VALUES,
+            algorithms=("hf", "bahf", "ba"),
+            lam=1.0,
+            n_trials=1000,
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def paper_figure5(cls, **overrides) -> "StochasticConfig":
+        """Figure 5: α̂ ~ U[0.1, 0.5], λ = 1.0, average ratio vs log N."""
+        base = cls(
+            sampler=UniformAlpha(0.1, 0.5),
+            n_values=PAPER_N_VALUES,
+            algorithms=("hf", "bahf", "ba"),
+            lam=1.0,
+            n_trials=1000,
+        )
+        return replace(base, **overrides)

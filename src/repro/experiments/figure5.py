@@ -1,0 +1,66 @@
+"""Experiment F5 -- the paper's Figure 5.
+
+"Comparison of the average ratio for α̂ ~ U[0.1, 0.5], λ = 1.0": the mean
+achieved ratio of BA, BA-HF and HF as a function of log2 N, N = 2^5..2^20.
+
+Expected shape (paper, Section 4): three roughly flat curves ordered
+BA > BA-HF > HF; "the average ratio obtained from Algorithm HF was
+observed to be almost constant for the whole range of N = 32 to
+N = 2^20"; the curves stay within a factor ≈ 3 of each other.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import PAPER_N_VALUES, StochasticConfig
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.tables import ascii_chart, format_series
+
+__all__ = ["run_figure5", "render_figure5", "figure5_series"]
+
+
+def run_figure5(
+    *,
+    n_trials: int = 1000,
+    n_values: Optional[Sequence[int]] = None,
+    seed: int = 20260706,
+    n_jobs: int = 1,
+) -> SweepResult:
+    """Run the Figure 5 sweep (α̂ ~ U[0.1, 0.5], λ = 1.0)."""
+    config = StochasticConfig.paper_figure5(
+        n_trials=n_trials,
+        n_values=tuple(n_values) if n_values is not None else PAPER_N_VALUES,
+        seed=seed,
+        n_jobs=n_jobs,
+    )
+    return run_sweep(config)
+
+
+def figure5_series(result: SweepResult) -> Dict[str, List[float]]:
+    """Mean-ratio series per algorithm, ascending N (the plotted lines)."""
+    return {
+        algo: [v for _, v in result.series(algo, "mean")]
+        for algo in result.algorithms()
+    }
+
+
+def render_figure5(result: SweepResult) -> str:
+    """Numeric series plus an ASCII rendition of the figure."""
+    ns = sorted({rec.n_processors for rec in result.records})
+    x_labels = [str(int(math.log2(n))) if _pow2(n) else str(n) for n in ns]
+    chart = ascii_chart(
+        figure5_series(result),
+        x_labels,
+        title=(
+            "Figure 5 -- average ratio vs log2 N "
+            f"({result.config.sampler.describe()}, "
+            f"lambda={result.config.lam:g})"
+        ),
+    )
+    return format_series(result, "mean") + "\n\n" + chart
+
+
+def _pow2(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0

@@ -1,0 +1,110 @@
+"""Experiment E3 -- dependence of the average ratio on the α̂ interval and N.
+
+Paper, Section 4: "the average ratio obtained from Algorithm HF was
+observed to be almost constant for the whole range of N = 32 to
+N = 2^20.  Its exact value depended only on the particular choice of the
+interval [a, b].  Only when the range for the bisection parameter was very
+small (b - a smaller than 0.1), the observed ratios varied with the number
+of processors."
+
+The study sweeps several intervals -- wide and narrow -- and reports, per
+interval and algorithm, the *spread* of the mean ratio across N (max mean
+minus min mean): small for wide intervals, noticeably larger for narrow
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import DEFAULT_N_VALUES, StochasticConfig
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.problems.samplers import UniformAlpha
+
+__all__ = [
+    "WIDE_INTERVALS",
+    "NARROW_INTERVALS",
+    "IntervalStudyResult",
+    "run_interval_study",
+    "render_interval_study",
+]
+
+WIDE_INTERVALS: Tuple[Tuple[float, float], ...] = (
+    (0.01, 0.5),
+    (0.1, 0.5),
+    (0.2, 0.5),
+    (0.3, 0.5),
+)
+
+#: b - a < 0.1: the paper's "very small range" regime.
+NARROW_INTERVALS: Tuple[Tuple[float, float], ...] = (
+    (0.45, 0.5),
+    (0.3, 0.35),
+    (0.05, 0.1),
+)
+
+
+@dataclass(frozen=True)
+class IntervalStudyResult:
+    intervals: Tuple[Tuple[float, float], ...]
+    sweeps: Dict[Tuple[float, float], SweepResult]
+
+    def mean_series(
+        self, interval: Tuple[float, float], algorithm: str
+    ) -> List[Tuple[int, float]]:
+        return self.sweeps[interval].series(algorithm, "mean")
+
+    def flatness(self, interval: Tuple[float, float], algorithm: str) -> float:
+        """Spread of the mean ratio across N: max - min (0 = flat)."""
+        means = [v for _, v in self.mean_series(interval, algorithm)]
+        return max(means) - min(means)
+
+
+def run_interval_study(
+    *,
+    intervals: Optional[Sequence[Tuple[float, float]]] = None,
+    algorithms: Sequence[str] = ("hf", "bahf", "ba"),
+    n_trials: int = 500,
+    n_values: Optional[Sequence[int]] = None,
+    seed: int = 20260706,
+    n_jobs: int = 1,
+) -> IntervalStudyResult:
+    iv = (
+        tuple(intervals)
+        if intervals is not None
+        else WIDE_INTERVALS + NARROW_INTERVALS
+    )
+    values = tuple(n_values) if n_values is not None else DEFAULT_N_VALUES
+    sweeps: Dict[Tuple[float, float], SweepResult] = {}
+    for a, b in iv:
+        config = StochasticConfig(
+            sampler=UniformAlpha(a, b),
+            n_values=values,
+            algorithms=tuple(algorithms),
+            n_trials=n_trials,
+            seed=seed,
+            n_jobs=n_jobs,
+        )
+        sweeps[(a, b)] = run_sweep(config)
+    return IntervalStudyResult(intervals=iv, sweeps=sweeps)
+
+
+def render_interval_study(result: IntervalStudyResult) -> str:
+    lines = [
+        "Interval study -- mean ratio per interval; 'spread' = max-min over N",
+        "",
+    ]
+    for interval in result.intervals:
+        sweep = result.sweeps[interval]
+        a, b = interval
+        kind = "narrow" if (b - a) < 0.1 else "wide"
+        lines.append(f"U[{a:g},{b:g}]  ({kind}, width {b - a:g})")
+        for algo in sweep.algorithms():
+            series = result.mean_series(interval, algo)
+            values = " ".join(f"{v:6.3f}" for _, v in series)
+            lines.append(
+                f"  {algo:>5}: {values}   spread={result.flatness(interval, algo):.3f}"
+            )
+        lines.append("")
+    return "\n".join(lines)

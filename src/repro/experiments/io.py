@@ -1,0 +1,149 @@
+"""Persistence: save and reload sweep results as JSON.
+
+Paper-scale sweeps take hours; their results should outlive the process.
+:func:`save_sweep` / :func:`load_sweep` round-trip a
+:class:`~repro.experiments.runner.SweepResult` (records + enough config
+to re-render tables), so `repro-experiments ... --json out.json` archives
+a run and later sessions can re-render or diff it without recomputing.
+
+The format is versioned, stable and human-inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.metrics import RatioSample
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import SweepRecord, SweepResult
+from repro.problems.samplers import (
+    AlphaSampler,
+    BetaAlpha,
+    DiscreteAlpha,
+    FixedAlpha,
+    UniformAlpha,
+)
+
+__all__ = ["save_sweep", "load_sweep", "sweep_to_json", "sweep_from_json"]
+
+FORMAT_VERSION = 1
+
+
+def _sampler_to_dict(sampler: AlphaSampler) -> dict:
+    if isinstance(sampler, UniformAlpha):
+        return {"kind": "uniform", "low": sampler.low, "high": sampler.high}
+    if isinstance(sampler, FixedAlpha):
+        return {"kind": "fixed", "value": sampler.value}
+    if isinstance(sampler, BetaAlpha):
+        return {
+            "kind": "beta",
+            "a": sampler.a,
+            "b": sampler.b,
+            "low": sampler.low,
+            "high": sampler.high,
+        }
+    if isinstance(sampler, DiscreteAlpha):
+        return {
+            "kind": "discrete",
+            "values": list(sampler.values),
+            "probabilities": list(sampler.probabilities),
+        }
+    raise TypeError(f"cannot serialise sampler {type(sampler).__name__}")
+
+
+def _sampler_from_dict(data: dict) -> AlphaSampler:
+    kind = data.get("kind")
+    if kind == "uniform":
+        return UniformAlpha(data["low"], data["high"])
+    if kind == "fixed":
+        return FixedAlpha(data["value"])
+    if kind == "beta":
+        return BetaAlpha(data["a"], data["b"], low=data["low"], high=data["high"])
+    if kind == "discrete":
+        return DiscreteAlpha(
+            values=tuple(data["values"]),
+            probabilities=tuple(data["probabilities"]),
+        )
+    raise ValueError(f"unknown sampler kind {kind!r}")
+
+
+def sweep_to_json(result: SweepResult) -> str:
+    """Serialise a sweep to a JSON string."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "sampler": _sampler_to_dict(result.config.sampler),
+            "n_values": list(result.config.n_values),
+            "algorithms": list(result.config.algorithms),
+            "lam": result.config.lam,
+            "n_trials": result.config.n_trials,
+            "seed": result.config.seed,
+        },
+        "records": [
+            {
+                "algorithm": rec.algorithm,
+                "n": rec.n_processors,
+                "sampler_label": rec.sampler_label,
+                "lambda": rec.lam,
+                "upper_bound": rec.upper_bound,
+                "sample": rec.sample.as_dict(),
+            }
+            for rec in result.records
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sweep_from_json(text: str) -> SweepResult:
+    """Inverse of :func:`sweep_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sweep format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    cfg_data = payload["config"]
+    config = StochasticConfig(
+        sampler=_sampler_from_dict(cfg_data["sampler"]),
+        n_values=tuple(cfg_data["n_values"]),
+        algorithms=tuple(cfg_data["algorithms"]),
+        lam=cfg_data["lam"],
+        n_trials=cfg_data["n_trials"],
+        seed=cfg_data["seed"],
+    )
+    records = []
+    for rec in payload["records"]:
+        s = rec["sample"]
+        records.append(
+            SweepRecord(
+                algorithm=rec["algorithm"],
+                n_processors=rec["n"],
+                sampler_label=rec["sampler_label"],
+                lam=rec["lambda"],
+                upper_bound=rec["upper_bound"],
+                sample=RatioSample(
+                    n_trials=s["n_trials"],
+                    minimum=s["min"],
+                    mean=s["avg"],
+                    maximum=s["max"],
+                    variance=s["var"],
+                    std=s["std"],
+                ),
+            )
+        )
+    return SweepResult(config=config, records=tuple(records))
+
+
+def save_sweep(result: SweepResult, path: Union[str, Path]) -> Path:
+    """Write a sweep to ``path`` (JSON); returns the path."""
+    path = Path(path)
+    path.write_text(sweep_to_json(result))
+    return path
+
+
+def load_sweep(path: Union[str, Path]) -> SweepResult:
+    """Read a sweep previously written by :func:`save_sweep`."""
+    return sweep_from_json(Path(path).read_text())

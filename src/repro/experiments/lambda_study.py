@@ -1,0 +1,138 @@
+"""Experiment E1 -- influence of the threshold parameter λ on BA-HF.
+
+Paper, Section 4: "we studied the influence of the threshold parameter λ
+on the average-case performance of Algorithm BA-HF for the case
+α̂ ~ U[0.1, 0.5].  We observed that the improvement of the average ratio
+was approximately 10% when λ increased from 1.0 to 2.0 and another 5%
+when λ = 3.0.  So we can expect a sufficient balancing quality from
+Algorithm BA-HF using relatively small values of λ."
+
+The study sweeps λ over a configurable set (default {1, 2, 3}), reports
+the mean ratio per (λ, N), and the aggregate improvement of each λ over
+λ = 1 (averaged over N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import DEFAULT_N_VALUES, StochasticConfig
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.stats import welch_diff_ci
+from repro.problems.samplers import AlphaSampler, UniformAlpha
+
+__all__ = ["LambdaStudyResult", "run_lambda_study", "render_lambda_study"]
+
+
+@dataclass(frozen=True)
+class LambdaStudyResult:
+    """Sweeps per λ plus derived improvement percentages."""
+
+    lams: Tuple[float, ...]
+    sweeps: Dict[float, SweepResult]
+    #: mean ratio averaged over N, per λ
+    mean_ratio: Dict[float, float]
+    #: reduction (%) of the excess-over-ideal (ratio - 1) vs λ = lams[0]
+    improvement_pct: Dict[float, float]
+    #: plain reduction (%) of the mean ratio itself vs λ = lams[0]
+    ratio_improvement_pct: Dict[float, float]
+
+    def n_values(self) -> List[int]:
+        first = self.sweeps[self.lams[0]]
+        return sorted({rec.n_processors for rec in first.records})
+
+
+def run_lambda_study(
+    *,
+    lams: Sequence[float] = (1.0, 2.0, 3.0),
+    sampler: Optional[AlphaSampler] = None,
+    n_trials: int = 1000,
+    n_values: Optional[Sequence[int]] = None,
+    seed: int = 20260706,
+    n_jobs: int = 1,
+) -> LambdaStudyResult:
+    """Run the λ study (default: the paper's α̂ ~ U[0.1, 0.5], λ ∈ {1,2,3})."""
+    if len(lams) < 1:
+        raise ValueError("need at least one lambda value")
+    sampler = sampler or UniformAlpha(0.1, 0.5)
+    values = tuple(n_values) if n_values is not None else DEFAULT_N_VALUES
+    sweeps: Dict[float, SweepResult] = {}
+    for lam in lams:
+        config = StochasticConfig(
+            sampler=sampler,
+            n_values=values,
+            algorithms=("bahf",),
+            lam=lam,
+            n_trials=n_trials,
+            seed=seed,
+            n_jobs=n_jobs,
+        )
+        sweeps[lam] = run_sweep(config)
+
+    mean_ratio = {
+        lam: _n_averaged_mean(sweeps[lam]) for lam in lams
+    }
+    base = mean_ratio[lams[0]]
+    improvement = {
+        lam: 100.0 * (base - mean_ratio[lam]) / (base - 1.0) if base > 1.0 else 0.0
+        for lam in lams
+    }
+    ratio_improvement = {
+        lam: 100.0 * (base - mean_ratio[lam]) / base for lam in lams
+    }
+    return LambdaStudyResult(
+        lams=tuple(lams),
+        sweeps=sweeps,
+        mean_ratio=mean_ratio,
+        improvement_pct=improvement,
+        ratio_improvement_pct=ratio_improvement,
+    )
+
+
+def _n_averaged_mean(sweep: SweepResult) -> float:
+    means = [rec.sample.mean for rec in sweep.records]
+    return sum(means) / len(means)
+
+
+def render_lambda_study(result: LambdaStudyResult) -> str:
+    """Mean ratio per (λ, N) and the improvement summary."""
+    ns = result.n_values()
+    lines = [
+        "Lambda study -- BA-HF, "
+        f"sampler {result.sweeps[result.lams[0]].config.sampler.describe()}",
+        " | ".join(
+            ["    N".rjust(8)] + [f"lam={lam:g}".rjust(9) for lam in result.lams]
+        ),
+        "-" * (12 * (len(result.lams) + 1)),
+    ]
+    for n in ns:
+        row = [f"{n}".rjust(8)]
+        for lam in result.lams:
+            rec = result.sweeps[lam].get("bahf", n)
+            row.append(f"{rec.sample.mean:9.4f}")
+        lines.append(" | ".join(row))
+    lines.append("")
+    base = result.lams[0]
+    n_top = max(ns)
+    for lam in result.lams[1:]:
+        base_rec = result.sweeps[base].get("bahf", n_top)
+        lam_rec = result.sweeps[lam].get("bahf", n_top)
+        ci = welch_diff_ci(
+            base_rec.sample.mean,
+            base_rec.sample.variance,
+            base_rec.sample.n_trials,
+            lam_rec.sample.mean,
+            lam_rec.sample.variance,
+            lam_rec.sample.n_trials,
+        )
+        significance = "significant" if ci.excludes_zero() else "not significant"
+        lines.append(
+            f"lam={lam:g} vs lam={base:g}: mean ratio "
+            f"{result.mean_ratio[base]:.4f} -> {result.mean_ratio[lam]:.4f} "
+            f"({result.ratio_improvement_pct[lam]:.1f}% of ratio, "
+            f"{result.improvement_pct[lam]:.1f}% of excess-over-ideal; "
+            f"at N={n_top} diff 95% CI [{ci.lower:.3f}, {ci.upper:.3f}], "
+            f"{significance})"
+        )
+    return "\n".join(lines)

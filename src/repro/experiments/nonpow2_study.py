@@ -1,0 +1,90 @@
+"""Experiment E4 -- non-power-of-two processor counts.
+
+Paper, Section 4: "We chose the number of processors as consecutive powers
+of 2 to explore the asymptotic behavior of our load balancing algorithms
+(experiments with values of N that were not powers of 2 gave very similar
+results)."
+
+The study pairs each power of two with nearby non-powers (2^k - 1,
+2^k + 1, and a few round numbers) and reports the relative difference of
+the mean ratio, which should be small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.problems.samplers import AlphaSampler, UniformAlpha
+
+__all__ = ["NonPow2Result", "run_nonpow2_study", "render_nonpow2_study"]
+
+
+@dataclass(frozen=True)
+class NonPow2Result:
+    sweep: SweepResult
+    pairs: Tuple[Tuple[int, int], ...]  # (power-of-two N, nearby N)
+
+    def relative_difference(self, algorithm: str, pair: Tuple[int, int]) -> float:
+        """|mean(N') - mean(N)| / mean(N) for a (N, N') pair."""
+        a = self.sweep.get(algorithm, pair[0]).sample.mean
+        b = self.sweep.get(algorithm, pair[1]).sample.mean
+        return abs(b - a) / a
+
+    def max_relative_difference(self, algorithm: str) -> float:
+        return max(self.relative_difference(algorithm, p) for p in self.pairs)
+
+
+def run_nonpow2_study(
+    *,
+    exponents: Sequence[int] = (6, 8, 10),
+    sampler: Optional[AlphaSampler] = None,
+    algorithms: Sequence[str] = ("hf", "bahf", "ba"),
+    n_trials: int = 500,
+    seed: int = 20260706,
+    n_jobs: int = 1,
+) -> NonPow2Result:
+    """Compare each 2^k against 2^k - 1 and 2^k + 1 (plus 1000 vs 1024)."""
+    pairs: List[Tuple[int, int]] = []
+    ns: List[int] = []
+    for k in exponents:
+        n = 2**k
+        for other in (n - 1, n + 1):
+            pairs.append((n, other))
+        ns.extend([n - 1, n, n + 1])
+    if 1024 in ns:
+        pairs.append((1024, 1000))
+        ns.append(1000)
+    config = StochasticConfig(
+        sampler=sampler or UniformAlpha(0.1, 0.5),
+        n_values=tuple(sorted(set(ns))),
+        algorithms=tuple(algorithms),
+        n_trials=n_trials,
+        seed=seed,
+        n_jobs=n_jobs,
+    )
+    return NonPow2Result(sweep=run_sweep(config), pairs=tuple(pairs))
+
+
+def render_nonpow2_study(result: NonPow2Result) -> str:
+    lines = [
+        "Non-power-of-two study -- relative difference of the mean ratio",
+        "",
+    ]
+    for algo in result.sweep.algorithms():
+        lines.append(f"{algo}:")
+        for pair in result.pairs:
+            a = result.sweep.get(algo, pair[0]).sample.mean
+            b = result.sweep.get(algo, pair[1]).sample.mean
+            diff = result.relative_difference(algo, pair)
+            lines.append(
+                f"  N={pair[0]:5d} mean={a:6.3f}  vs  N={pair[1]:5d} "
+                f"mean={b:6.3f}  (diff {100 * diff:.2f}%)"
+            )
+        lines.append(
+            f"  max difference: {100 * result.max_relative_difference(algo):.2f}%"
+        )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Experiment E5 -- simulated parallel running time and communication.
+
+Paper, Sections 3 and 5: sequential HF needs Θ(N) time to distribute a
+problem onto N processors, while PHF, BA and BA-HF need only O(log N)
+under the machine model (unit-cost bisection/send, log-cost collectives).
+PHF pays per-iteration global communication; BA needs none at all.
+
+The study runs the discrete-event simulator over a range of N and
+reports makespan, message count, control messages and collective count
+per algorithm -- reproducing the qualitative separation the paper argues
+analytically, plus the PHF-vs-BA communication trade-off the conclusion
+discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.problems.samplers import AlphaSampler, UniformAlpha
+from repro.problems.synthetic import SyntheticProblem
+from repro.simulator.machine import MachineConfig
+from repro.simulator.ba_sim import simulate_ba
+from repro.simulator.bahf_sim import simulate_bahf
+from repro.simulator.hf_sim import simulate_hf
+from repro.simulator.phf_sim import simulate_phf
+from repro.simulator.trace import SimulationResult
+from repro.utils.rng import split_seed
+
+__all__ = ["RuntimeRecord", "RuntimeStudyResult", "run_runtime_study", "render_runtime_study"]
+
+
+@dataclass(frozen=True)
+class RuntimeRecord:
+    algorithm: str
+    n_processors: int
+    parallel_time: float
+    n_messages: int
+    n_control_messages: int
+    n_collectives: int
+    collective_time: float
+    utilization: float
+    ratio: float
+
+
+@dataclass(frozen=True)
+class RuntimeStudyResult:
+    records: Tuple[RuntimeRecord, ...]
+    n_repeats: int
+
+    def series(self, algorithm: str, field: str) -> List[Tuple[int, float]]:
+        out = []
+        for rec in sorted(self.records, key=lambda r: r.n_processors):
+            if rec.algorithm == algorithm:
+                out.append((rec.n_processors, getattr(rec, field)))
+        return out
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for rec in self.records:
+            if rec.algorithm not in seen:
+                seen.append(rec.algorithm)
+        return seen
+
+
+def run_runtime_study(
+    *,
+    n_values: Sequence[int] = tuple(2**k for k in range(2, 11)),
+    sampler: Optional[AlphaSampler] = None,
+    algorithms: Sequence[str] = ("hf", "phf", "ba", "bahf"),
+    lam: float = 1.0,
+    phf_phase1: str = "central",
+    config: Optional[MachineConfig] = None,
+    n_repeats: int = 5,
+    seed: int = 20260706,
+) -> RuntimeStudyResult:
+    """Simulate each algorithm on ``n_repeats`` random instances per N.
+
+    Reported values are means over the repeats (the machine is
+    deterministic; only the problem instance varies).
+    """
+    if n_repeats < 1:
+        raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    sampler = sampler or UniformAlpha(0.1, 0.5)
+    records: List[RuntimeRecord] = []
+    for n in n_values:
+        for algo in algorithms:
+            sums = {
+                "parallel_time": 0.0,
+                "n_messages": 0.0,
+                "n_control_messages": 0.0,
+                "n_collectives": 0.0,
+                "collective_time": 0.0,
+                "utilization": 0.0,
+                "ratio": 0.0,
+            }
+            for rep in range(n_repeats):
+                problem = SyntheticProblem(
+                    1.0, sampler, seed=split_seed(seed, rep * 1009 + n)
+                )
+                res = _simulate(algo, problem, n, lam, phf_phase1, config)
+                sums["parallel_time"] += res.parallel_time
+                sums["n_messages"] += res.n_messages
+                sums["n_control_messages"] += res.n_control_messages
+                sums["n_collectives"] += res.n_collectives
+                sums["collective_time"] += res.collective_time
+                sums["utilization"] += res.utilization
+                sums["ratio"] += res.ratio
+            records.append(
+                RuntimeRecord(
+                    algorithm=algo,
+                    n_processors=n,
+                    parallel_time=sums["parallel_time"] / n_repeats,
+                    n_messages=int(round(sums["n_messages"] / n_repeats)),
+                    n_control_messages=int(
+                        round(sums["n_control_messages"] / n_repeats)
+                    ),
+                    n_collectives=int(round(sums["n_collectives"] / n_repeats)),
+                    collective_time=sums["collective_time"] / n_repeats,
+                    utilization=sums["utilization"] / n_repeats,
+                    ratio=sums["ratio"] / n_repeats,
+                )
+            )
+    return RuntimeStudyResult(records=tuple(records), n_repeats=n_repeats)
+
+
+def _simulate(
+    algo: str,
+    problem: SyntheticProblem,
+    n: int,
+    lam: float,
+    phf_phase1: str,
+    config: Optional[MachineConfig],
+) -> SimulationResult:
+    key = algo.lower().replace("-", "").replace("_", "")
+    if key == "hf":
+        return simulate_hf(problem, n, config=config)
+    if key == "phf":
+        return simulate_phf(problem, n, config=config, phase1=phf_phase1)
+    if key == "ba":
+        return simulate_ba(problem, n, config=config)
+    if key == "bahf":
+        return simulate_bahf(problem, n, lam=lam, config=config)
+    raise ValueError(f"unknown algorithm {algo!r}")
+
+
+def render_runtime_study(result: RuntimeStudyResult) -> str:
+    lines = [
+        f"Runtime study -- simulated machine, mean of {result.n_repeats} instances",
+        " | ".join(
+            ["     N".rjust(7)]
+            + [
+                f"{algo}:T / msg / coll".rjust(22)
+                for algo in result.algorithms()
+            ]
+        ),
+        "-" * (7 + 25 * len(result.algorithms())),
+    ]
+    ns = sorted({rec.n_processors for rec in result.records})
+    by_key: Dict[Tuple[str, int], RuntimeRecord] = {
+        (rec.algorithm, rec.n_processors): rec for rec in result.records
+    }
+    for n in ns:
+        row = [f"{n}".rjust(7)]
+        for algo in result.algorithms():
+            rec = by_key[(algo, n)]
+            row.append(
+                f"{rec.parallel_time:8.1f} /{rec.n_messages:6d} /{rec.n_collectives:4d}"
+            )
+        lines.append(" | ".join(row))
+    return "\n".join(lines)

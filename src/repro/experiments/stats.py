@@ -1,0 +1,214 @@
+"""Statistical utilities for the Monte-Carlo harness.
+
+The paper reports min/avg/max over 1000 trials and argues informally that
+the outcomes are "statistically meaningful".  These helpers make such
+claims checkable at any trial count:
+
+* :func:`bootstrap_ci` -- percentile bootstrap confidence interval for the
+  mean ratio of one cell,
+* :func:`mean_difference_ci` -- bootstrap CI for the difference of two
+  cells' means (e.g. BA-HF at λ=1 vs λ=2: the paper's "≈10 % improvement"
+  is significant iff the CI excludes 0),
+* :func:`required_trials` -- how many trials are needed for a target
+  standard error, given a pilot sample.
+
+Pure numpy, deterministic via explicit seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "mean_difference_ci",
+    "welch_diff_ci",
+    "required_trials",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a point estimate."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def excludes_zero(self) -> bool:
+        """True when 0 lies outside the interval (a significant difference)."""
+        return not self.contains(0.0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.estimate:.4f} "
+            f"[{self.lower:.4f}, {self.upper:.4f}] "
+            f"@{100 * self.confidence:.0f}%"
+        )
+
+
+def _check_samples(samples: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("samples must be a non-empty 1-D sequence")
+    return arr
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the mean of ``samples``."""
+    arr = _check_samples(samples)
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise ValueError(f"n_resamples must be >= 10, got {n_resamples}")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=float(arr.mean()),
+        lower=float(lo),
+        upper=float(hi),
+        confidence=confidence,
+    )
+
+
+def mean_difference_ci(
+    samples_a: Sequence[float],
+    samples_b: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for ``mean(a) - mean(b)`` (independent samples).
+
+    Positive interval entirely above zero ⇒ cell *a*'s mean is
+    significantly larger (e.g. λ=1's ratio vs λ=2's: the improvement is
+    real if this CI excludes zero).
+    """
+    a = _check_samples(samples_a)
+    b = _check_samples(samples_b)
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    idx_a = rng.integers(0, a.size, size=(n_resamples, a.size))
+    idx_b = rng.integers(0, b.size, size=(n_resamples, b.size))
+    diffs = a[idx_a].mean(axis=1) - b[idx_b].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(diffs, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=float(a.mean() - b.mean()),
+        lower=float(lo),
+        upper=float(hi),
+        confidence=confidence,
+    )
+
+
+def welch_diff_ci(
+    mean_a: float,
+    var_a: float,
+    n_a: int,
+    mean_b: float,
+    var_b: float,
+    n_b: int,
+    *,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Normal-approximation CI for a difference of means from summaries.
+
+    Works straight off stored :class:`~repro.core.metrics.RatioSample`
+    summaries (mean, sample variance, trial count) -- no raw trial data
+    needed -- using the Welch standard error
+    ``sqrt(var_a/n_a + var_b/n_b)`` and a z quantile (fine for the
+    hundreds of trials the harness runs).
+    """
+    if n_a < 2 or n_b < 2:
+        raise ValueError("need at least 2 trials per cell")
+    if var_a < 0 or var_b < 0:
+        raise ValueError("variances must be non-negative")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    se = float(np.sqrt(var_a / n_a + var_b / n_b))
+    # inverse normal CDF via numpy (erfinv through special-case table-free
+    # approach): use the quantile of a large normal sample is overkill --
+    # the two common cases suffice and otherwise fall back to scipy-free
+    # Acklam-style approximation.
+    z = _z_quantile(0.5 + confidence / 2.0)
+    diff = mean_a - mean_b
+    return ConfidenceInterval(
+        estimate=diff,
+        lower=diff - z * se,
+        upper=diff + z * se,
+        confidence=confidence,
+    )
+
+
+def _z_quantile(p: float) -> float:
+    """Standard-normal quantile (Acklam's rational approximation, |err|<1e-9)."""
+    if not (0.0 < p < 1.0):
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    # coefficients for the central and tail regions
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = np.sqrt(-2.0 * np.log(p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        return float(num / den)
+    if p > p_high:
+        q = np.sqrt(-2.0 * np.log(1.0 - p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        return float(-num / den)
+    q = p - 0.5
+    r = q * q
+    num = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+    den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    return float(num / den)
+
+
+def required_trials(
+    pilot_samples: Sequence[float],
+    *,
+    target_se: float,
+) -> int:
+    """Trials needed so the standard error of the mean falls below target.
+
+    Uses the pilot's sample standard deviation: ``n ≥ (s/target_se)²``.
+    """
+    arr = _check_samples(pilot_samples)
+    if target_se <= 0:
+        raise ValueError(f"target_se must be positive, got {target_se}")
+    if arr.size < 2:
+        raise ValueError("need at least 2 pilot samples")
+    s = float(arr.std(ddof=1))
+    if s == 0.0:
+        return 1
+    return int(np.ceil((s / target_se) ** 2))

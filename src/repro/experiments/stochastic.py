@@ -1,0 +1,149 @@
+"""Monte-Carlo trials of the paper's stochastic bisection model.
+
+One *trial* partitions a unit-weight problem whose bisections draw α̂
+i.i.d. from a sampler, for one algorithm and one processor count, and
+records the achieved ratio ``max_i w(p_i) / (1/N)``.  The paper runs 1000
+trials per configuration and reports min/avg/max.
+
+The trial functions use the algorithms' float-only fast paths
+(:func:`~repro.core.hf.hf_final_weights` etc.): for the i.i.d. model only
+the weight multiset matters, so no problem objects, trees or bisection
+caching are needed.  Equivalence with the object API is covered by tests
+(``tests/test_stochastic.py``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.ba import ba_final_weights
+from repro.core.bahf import bahf_final_weights
+from repro.core.hf import hf_final_weights
+from repro.core.metrics import RatioSample, summarize_ratios
+from repro.problems.samplers import AlphaSampler
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["DrawStream", "trial_ratio", "trial_ratios", "sample_ratios"]
+
+
+class DrawStream:
+    """Amortised per-call sampling: pre-draws blocks of α̂ values.
+
+    The BA/BA-HF fast paths consume one draw per bisection in recursion
+    order; calling ``Generator.uniform`` per draw would dominate the run
+    time (the guides' first rule: vectorise the hot loop).  This stream
+    draws blocks of ``block`` values at once and hands them out one by one.
+    """
+
+    def __init__(
+        self,
+        sampler: AlphaSampler,
+        rng: np.random.Generator,
+        *,
+        block: int = 4096,
+    ) -> None:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self._sampler = sampler
+        self._rng = rng
+        self._block = block
+        self._buf = np.empty(0)
+        self._pos = 0
+        self.n_draws = 0
+
+    def __call__(self) -> float:
+        if self._pos >= self._buf.size:
+            self._buf = self._sampler.sample_many(self._rng, self._block)
+            self._pos = 0
+        value = float(self._buf[self._pos])
+        self._pos += 1
+        self.n_draws += 1
+        return value
+
+
+def trial_ratio(
+    algorithm: str,
+    n_processors: int,
+    sampler: AlphaSampler,
+    rng: np.random.Generator,
+    *,
+    lam: float = 1.0,
+) -> float:
+    """One trial: the achieved ratio for ``algorithm`` on ``n_processors``.
+
+    ``algorithm`` ∈ {"hf", "phf", "ba", "bahf"}; "phf" is an alias for
+    "hf" (Theorem 3: identical partitions), kept so experiment configs can
+    speak the paper's names.
+    """
+    key = algorithm.lower().replace("-", "").replace("_", "")
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    if key in ("hf", "phf"):
+        draws = sampler.sample_many(rng, max(0, n_processors - 1))
+        weights = hf_final_weights(1.0, n_processors, draws)
+    elif key == "ba":
+        weights = ba_final_weights(1.0, n_processors, DrawStream(sampler, rng))
+    elif key == "bahf":
+        weights = bahf_final_weights(
+            1.0,
+            n_processors,
+            DrawStream(sampler, rng),
+            alpha=sampler.alpha,
+            lam=lam,
+        )
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return float(weights.max() * n_processors)
+
+
+def trial_ratios(
+    algorithm: str,
+    n_processors: int,
+    sampler: AlphaSampler,
+    *,
+    n_trials: int,
+    seed: int,
+    lam: float = 1.0,
+) -> np.ndarray:
+    """``n_trials`` independent trial ratios, reproducibly seeded.
+
+    Trial ``t`` uses a generator derived from ``(seed, algorithm,
+    n_processors, t)`` so that adding algorithms or N values to a sweep
+    never perturbs existing results.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    # Derive a sub-root per (algorithm, n) so streams never overlap.
+    # (zlib.crc32 is stable across processes, unlike built-in str hashing.)
+    tag = zlib.crc32(f"{algorithm}:{n_processors}".encode())
+    factory = SeedSequenceFactory((seed ^ tag) & 0xFFFFFFFFFFFFFFFF)
+    out = np.empty(n_trials, dtype=np.float64)
+    for t in range(n_trials):
+        rng = factory.generator_for(t)
+        out[t] = trial_ratio(algorithm, n_processors, sampler, rng, lam=lam)
+    return out
+
+
+def sample_ratios(
+    algorithm: str,
+    n_processors: int,
+    sampler: AlphaSampler,
+    *,
+    n_trials: int,
+    seed: int,
+    lam: float = 1.0,
+) -> RatioSample:
+    """Run trials and summarise (the paper's min/avg/max/variance row)."""
+    return summarize_ratios(
+        trial_ratios(
+            algorithm,
+            n_processors,
+            sampler,
+            n_trials=n_trials,
+            seed=seed,
+            lam=lam,
+        )
+    )

@@ -1,0 +1,45 @@
+"""Experiment T1 -- the paper's Table 1.
+
+"Worst-case upper bounds (ub) and observed minimum, average, and maximum
+ratios for α̂ ~ U[0.01, 0.5], λ = 1.0" over N = 2^5 .. 2^20, 1000 trials
+per cell, for Algorithms BA, BA-HF and HF.  (PHF needs no separate column:
+it produces the same partitioning as HF, Theorem 3 -- the paper makes the
+same remark in Section 4.)
+
+Expected shape (paper, Section 4): HF best, BA worst, BA-HF in between;
+all observed ratios far below the worst-case bounds; ratios differing by
+no more than a factor ≈ 3 across algorithms for fixed N; HF sharply
+concentrated around its mean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import PAPER_N_VALUES, StochasticConfig
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.tables import format_table1
+
+__all__ = ["run_table1", "render_table1"]
+
+
+def run_table1(
+    *,
+    n_trials: int = 1000,
+    n_values: Optional[Sequence[int]] = None,
+    seed: int = 20260706,
+    n_jobs: int = 1,
+) -> SweepResult:
+    """Run the Table 1 sweep (α̂ ~ U[0.01, 0.5], λ = 1.0)."""
+    config = StochasticConfig.paper_table1(
+        n_trials=n_trials,
+        n_values=tuple(n_values) if n_values is not None else PAPER_N_VALUES,
+        seed=seed,
+        n_jobs=n_jobs,
+    )
+    return run_sweep(config)
+
+
+def render_table1(result: SweepResult) -> str:
+    """Render in the paper's Table 1 layout."""
+    return format_table1(result)

@@ -1,0 +1,172 @@
+"""Rendering sweep results as the paper's tables and figure series.
+
+Plotting libraries are out of scope (offline environment); figures are
+emitted as aligned ASCII tables and CSV so they can be diffed, regressed
+on, and re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import SweepResult
+
+__all__ = ["format_table1", "format_series", "sweep_to_csv", "ascii_chart"]
+
+_ROW_ORDER = ("ub", "min", "avg", "max")
+_ALGO_LABELS = {"ba": "BA", "bahf": "BA-HF", "hf": "HF", "phf": "PHF"}
+
+
+def format_table1(result: SweepResult) -> str:
+    """Render a sweep in the layout of the paper's Table 1.
+
+    One block per algorithm; rows = worst-case upper bound (ub) and the
+    observed min/avg/max ratios; columns = log2 N.
+    """
+    ns = sorted({rec.n_processors for rec in result.records})
+    header_cells = ["log N".rjust(8)] + [
+        f"{int(math.log2(n))}" .rjust(8) if _is_pow2(n) else f"{n}".rjust(8)
+        for n in ns
+    ]
+    lines = [
+        f"Table 1 -- sampler {result.config.sampler.describe()}, "
+        f"lambda={result.config.lam:g}, {result.config.n_trials} trials",
+        " | ".join(header_cells),
+        "-" * (len(header_cells) * 11),
+    ]
+    for algo in result.algorithms():
+        lines.append(_ALGO_LABELS.get(algo, algo))
+        values: Dict[str, List[float]] = {key: [] for key in _ROW_ORDER}
+        for n in ns:
+            rec = result.get(algo, n)
+            values["ub"].append(rec.upper_bound)
+            values["min"].append(rec.sample.minimum)
+            values["avg"].append(rec.sample.mean)
+            values["max"].append(rec.sample.maximum)
+        for key in _ROW_ORDER:
+            cells = [key.rjust(8)] + [f"{v:8.2f}" for v in values[key]]
+            lines.append(" | ".join(cells))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_series(
+    result: SweepResult,
+    field: str = "mean",
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render one value per (N, algorithm) -- the Figure 5 data series."""
+    ns = sorted({rec.n_processors for rec in result.records})
+    algos = result.algorithms()
+    lines = [
+        title
+        or (
+            f"{field} ratio -- sampler {result.config.sampler.describe()}, "
+            f"lambda={result.config.lam:g}"
+        ),
+        " | ".join(
+            ["log N".rjust(8)] + [_ALGO_LABELS.get(a, a).rjust(8) for a in algos]
+        ),
+        "-" * (11 * (len(algos) + 1)),
+    ]
+    for n in ns:
+        label = f"{int(math.log2(n))}" if _is_pow2(n) else f"{n}"
+        row = [label.rjust(8)]
+        for algo in algos:
+            rec = result.get(algo, n)
+            value = (
+                rec.upper_bound
+                if field == "upper_bound"
+                else getattr(rec.sample, field)
+            )
+            row.append(f"{value:8.3f}")
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """CSV export of every record (one row per (algorithm, N))."""
+    buf = io.StringIO()
+    fieldnames = [
+        "algorithm",
+        "n",
+        "sampler",
+        "lambda",
+        "ub",
+        "n_trials",
+        "min",
+        "avg",
+        "max",
+        "var",
+        "std",
+    ]
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for rec in result.records:
+        writer.writerow(rec.as_dict())
+    return buf.getvalue()
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    *,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A tiny ASCII line chart (Figure 5 rendered in the terminal).
+
+    ``series`` maps a one-character-labelled name to y-values aligned with
+    ``x_labels``.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()} | {len(x_labels)}
+    if len(lengths) != 1:
+        raise ValueError("all series and x_labels must have equal length")
+    ys = [v for vals in series.values() for v in vals]
+    lo, hi = min(ys), max(ys)
+    span = hi - lo or 1.0
+    width = len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+    marks = _unique_marks(list(series))
+    for name, vals in series.items():
+        mark = marks[name]
+        for x, y in enumerate(vals):
+            row = height - 1 - int(round((y - lo) / span * (height - 1)))
+            grid[row][x] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_val = hi - span * r / (height - 1)
+        lines.append(f"{y_val:7.2f} | " + "  ".join(row))
+    lines.append(" " * 9 + "-" * (3 * width - 2))
+    lines.append(" " * 9 + "  ".join(lbl[-1] for lbl in x_labels))
+    legend = "  ".join(f"{marks[name]}={name}" for name in series)
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def _unique_marks(names: List[str]) -> Dict[str, str]:
+    """One distinct single-character mark per series name."""
+    marks: Dict[str, str] = {}
+    used: set = set()
+    for name in names:
+        mark = next(
+            (c.upper() for c in name if c.upper() not in used and c.isalnum()),
+            None,
+        )
+        if mark is None:  # fall back to digits
+            mark = next(str(d) for d in range(10) if str(d) not in used)
+        marks[name] = mark
+        used.add(mark)
+    return marks
+
+
+def _is_pow2(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0

@@ -1,0 +1,125 @@
+"""Experiment E2 -- sample variance across α̂ intervals.
+
+Paper, Section 4: "It is remarkable that the sample variance was very
+small in all cases except if an interval [a, 2a] with very small a was
+chosen.  Even more astonishingly, the outcome of each individual
+simulation was fairly close to the sample mean of all 1000 experiments.
+Especially for Algorithm HF the observed ratios were sharply concentrated
+around the sample mean for larger values of N."
+
+The study runs the three algorithms over a set of intervals (wide ones
+plus narrow low-a ones) and reports the per-cell standard deviation and
+coefficient of variation, so the two claims become checkable predicates:
+
+* std is small (CV of a few % at most) for wide intervals,
+* the narrow small-a interval shows markedly larger variance,
+* HF's std shrinks as N grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import DEFAULT_N_VALUES, StochasticConfig
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.problems.samplers import UniformAlpha
+
+__all__ = [
+    "DEFAULT_INTERVALS",
+    "NARROW_INTERVAL",
+    "VarianceStudyResult",
+    "run_variance_study",
+    "render_variance_study",
+]
+
+#: Wide intervals (paper: "several choices of the interval [a, b]").
+DEFAULT_INTERVALS: Tuple[Tuple[float, float], ...] = (
+    (0.01, 0.5),
+    (0.1, 0.5),
+    (0.25, 0.5),
+)
+
+#: A narrow [a, 2a] interval with small a -- the paper's exception case.
+NARROW_INTERVAL: Tuple[float, float] = (0.02, 0.04)
+
+
+@dataclass(frozen=True)
+class VarianceStudyResult:
+    intervals: Tuple[Tuple[float, float], ...]
+    sweeps: Dict[Tuple[float, float], SweepResult]
+
+    def cv(self, interval: Tuple[float, float], algorithm: str, n: int) -> float:
+        """Coefficient of variation (std / mean) of one cell."""
+        rec = self.sweeps[interval].get(algorithm, n)
+        return rec.sample.std / rec.sample.mean
+
+    def max_cv(self, interval: Tuple[float, float]) -> float:
+        """Worst CV over all cells of one interval's sweep."""
+        sweep = self.sweeps[interval]
+        return max(rec.sample.std / rec.sample.mean for rec in sweep.records)
+
+    def max_variance(self, interval: Tuple[float, float]) -> float:
+        """Worst absolute sample variance over the interval's cells.
+
+        The paper's "sample variance was very small in all cases except
+        [a, 2a] with very small a" is about this absolute quantity: narrow
+        small-a intervals have mean ratios of 10-25, so even a small
+        *relative* spread is a large variance.
+        """
+        sweep = self.sweeps[interval]
+        return max(rec.sample.variance for rec in sweep.records)
+
+
+def run_variance_study(
+    *,
+    intervals: Optional[Sequence[Tuple[float, float]]] = None,
+    include_narrow: bool = True,
+    algorithms: Sequence[str] = ("hf", "bahf", "ba"),
+    n_trials: int = 1000,
+    n_values: Optional[Sequence[int]] = None,
+    seed: int = 20260706,
+    n_jobs: int = 1,
+) -> VarianceStudyResult:
+    """Run sweeps over the interval set and collect variance statistics."""
+    iv = list(intervals) if intervals is not None else list(DEFAULT_INTERVALS)
+    if include_narrow and NARROW_INTERVAL not in iv:
+        iv.append(NARROW_INTERVAL)
+    values = tuple(n_values) if n_values is not None else DEFAULT_N_VALUES
+    sweeps: Dict[Tuple[float, float], SweepResult] = {}
+    for a, b in iv:
+        config = StochasticConfig(
+            sampler=UniformAlpha(a, b),
+            n_values=values,
+            algorithms=tuple(algorithms),
+            n_trials=n_trials,
+            seed=seed,
+            n_jobs=n_jobs,
+        )
+        sweeps[(a, b)] = run_sweep(config)
+    return VarianceStudyResult(intervals=tuple(iv), sweeps=sweeps)
+
+
+def render_variance_study(result: VarianceStudyResult) -> str:
+    lines = ["Variance study -- std of the achieved ratio (per cell)", ""]
+    for interval in result.intervals:
+        sweep = result.sweeps[interval]
+        ns = sorted({rec.n_processors for rec in sweep.records})
+        lines.append(
+            f"interval U[{interval[0]:g},{interval[1]:g}] "
+            f"(max CV {100 * result.max_cv(interval):.1f}%)"
+        )
+        header = ["    N".rjust(8)] + [
+            algo.rjust(16) for algo in sweep.algorithms()
+        ]
+        lines.append(" | ".join(header))
+        for n in ns:
+            row = [f"{n}".rjust(8)]
+            for algo in sweep.algorithms():
+                rec = sweep.get(algo, n)
+                row.append(
+                    f"{rec.sample.mean:7.3f}±{rec.sample.std:7.4f}"
+                )
+            lines.append(" | ".join(row))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Experiment E8 -- bound validity and tightness.
+
+For each algorithm and a grid of α values, run the adversarial search of
+:mod:`repro.core.lower_bounds` and report
+
+* the theorem bound,
+* the empirical supremum any adversary achieved, and
+* their ratio (tightness; 1.0 = the bound is met by a real input).
+
+Two uses: the search *proves* (by failing loudly) that no real run
+exceeds the reconstructed bounds -- the acceptance criterion for the
+OCR-reconstructed formulas (DESIGN.md) -- and the tightness column shows
+how conservative the worst-case theory is compared with the average case
+of Table 1, the contrast the paper itself highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bounds import bound_for
+from repro.core.lower_bounds import WorstCaseReport, worst_case_search
+
+__all__ = [
+    "WorstCaseStudyResult",
+    "run_worstcase_study",
+    "render_worstcase_study",
+]
+
+DEFAULT_ALPHAS: Tuple[float, ...] = (0.05, 0.1, 0.2, 1 / 3, 0.45)
+
+
+@dataclass(frozen=True)
+class WorstCaseStudyResult:
+    alphas: Tuple[float, ...]
+    algorithms: Tuple[str, ...]
+    reports: Dict[Tuple[str, float], WorstCaseReport]
+
+    def get(self, algorithm: str, alpha: float) -> WorstCaseReport:
+        return self.reports[(algorithm, alpha)]
+
+    def max_tightness(self, algorithm: str) -> float:
+        return max(
+            rep.tightness
+            for (algo, _), rep in self.reports.items()
+            if algo == algorithm
+        )
+
+
+def run_worstcase_study(
+    *,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    algorithms: Sequence[str] = ("hf", "ba", "bahf"),
+    n_values: Sequence[int] = (2, 3, 5, 7, 15, 16, 31, 33, 63, 100, 127, 128, 255),
+    repeats: int = 5,
+    lam: float = 1.0,
+    seed: int = 20260706,
+) -> WorstCaseStudyResult:
+    """Run the adversarial search grid; raises if any bound is violated."""
+    reports: Dict[Tuple[str, float], WorstCaseReport] = {}
+    for algo in algorithms:
+        for alpha in alphas:
+            reports[(algo, alpha)] = worst_case_search(
+                algo,
+                alpha,
+                n_values=n_values,
+                repeats=repeats,
+                lam=lam,
+                seed=seed,
+                require_within_bound=True,
+            )
+    return WorstCaseStudyResult(
+        alphas=tuple(alphas), algorithms=tuple(algorithms), reports=reports
+    )
+
+
+def render_worstcase_study(result: WorstCaseStudyResult) -> str:
+    lines = [
+        "Worst-case study -- adversarial empirical supremum vs theorem bound",
+        "(no adversary may exceed the bound; tightness = sup / bound)",
+        "",
+        f"{'algo':<6} {'alpha':>7} {'emp sup':>9} {'bound':>9} "
+        f"{'tightness':>10}  witness",
+    ]
+    for algo in result.algorithms:
+        for alpha in result.alphas:
+            rep = result.get(algo, alpha)
+            n, strat = rep.witness
+            lines.append(
+                f"{algo:<6} {alpha:>7.3f} {rep.empirical_sup:>9.4f} "
+                f"{rep.bound_at_sup:>9.4f} {rep.tightness:>10.3f}  "
+                f"N={n} {strat}"
+            )
+    return "\n".join(lines)

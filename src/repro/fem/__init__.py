@@ -1,0 +1,31 @@
+"""FEM substrate: the paper's motivating application, made concrete.
+
+* :mod:`repro.fem.poisson` -- a real (small) PDE problem: 5-point Poisson
+  discretisation, sparse assembly, direct solve, residual checks.
+* :mod:`repro.fem.substructuring` -- recursive substructuring (nested
+  dissection) over that discretisation, producing the weighted FE-trees
+  the paper's load balancer distributes, plus a dependency-aware parallel
+  solve estimator.
+
+See ``examples/fem_substructuring_solve.py`` for the full pipeline:
+PDE → elimination tree → HF/BA balancing → speedup estimate.
+"""
+
+from repro.fem.poisson import PoissonProblem, manufactured_solution
+from repro.fem.substructuring import (
+    ParallelSolveEstimate,
+    critical_path_cost,
+    dissection_fe_tree,
+    dissection_tree,
+    estimate_parallel_solve,
+)
+
+__all__ = [
+    "PoissonProblem",
+    "manufactured_solution",
+    "ParallelSolveEstimate",
+    "critical_path_cost",
+    "dissection_fe_tree",
+    "dissection_tree",
+    "estimate_parallel_solve",
+]

@@ -1,0 +1,72 @@
+"""Concrete problem families with α-bisectors.
+
+* :class:`~repro.problems.synthetic.SyntheticProblem` -- the paper's i.i.d.
+  α̂ model (Section 4), driven by an :class:`AlphaSampler`.
+* :class:`~repro.problems.weighted_list.ListProblem` -- random-pivot list
+  bisection (the paper's own justification for the uniform model).
+* :class:`~repro.problems.fe_tree.FETreeProblem` -- unbalanced FE-trees from
+  the motivating FEM application, best-edge subtree bisection.
+* :class:`~repro.problems.quadrature.QuadratureProblem` -- multi-dimensional
+  adaptive quadrature regions (application [4]).
+* :class:`~repro.problems.domain.GridDomainProblem` -- 2-D recursive
+  coordinate bisection over a work-density grid (applications [12], CFD).
+* :class:`~repro.problems.search_space.SearchSpaceProblem` -- frontiers of
+  a backtrack/branch-and-bound search tree (paper's reference [9]).
+* :class:`~repro.problems.task_dag.TaskDagProblem` -- series-parallel
+  program-execution DAGs (mentioned under Definition 1).
+"""
+
+from repro.problems.samplers import (
+    AlphaSampler,
+    BetaAlpha,
+    DiscreteAlpha,
+    FixedAlpha,
+    UniformAlpha,
+)
+from repro.problems.synthetic import SyntheticProblem
+from repro.problems.weighted_list import ListProblem
+from repro.problems.fe_tree import FENode, FETreeProblem, random_fe_tree
+from repro.problems.quadrature import (
+    QuadratureProblem,
+    oscillatory_integrand,
+    peak_integrand,
+)
+from repro.problems.domain import (
+    GridDomainProblem,
+    gaussian_hotspot_density,
+    uniform_density,
+)
+from repro.problems.search_space import FrontierNode, SearchSpaceProblem
+from repro.problems.task_dag import (
+    Parallel,
+    Series,
+    Task,
+    TaskDagProblem,
+    random_task_dag,
+)
+
+__all__ = [
+    "FrontierNode",
+    "SearchSpaceProblem",
+    "Parallel",
+    "Series",
+    "Task",
+    "TaskDagProblem",
+    "random_task_dag",
+    "AlphaSampler",
+    "BetaAlpha",
+    "DiscreteAlpha",
+    "FixedAlpha",
+    "UniformAlpha",
+    "SyntheticProblem",
+    "ListProblem",
+    "FENode",
+    "FETreeProblem",
+    "random_fe_tree",
+    "QuadratureProblem",
+    "oscillatory_integrand",
+    "peak_integrand",
+    "GridDomainProblem",
+    "gaussian_hotspot_density",
+    "uniform_density",
+]

@@ -1,0 +1,172 @@
+"""2-D domain-decomposition problems (CFD / chip-layout style workloads).
+
+The paper cites computational fluid dynamics and "domain decomposition in
+the process of chip layout" [12] as application areas.  Here a problem is
+a rectangular sub-grid of a global 2-D cell-density field (density =
+per-cell work: mesh refinement level, device count, ...).  Its weight is
+the exact sum of cell densities, so weight conservation is exact.
+
+Bisection is the *recursive coordinate bisection* (RCB) step used by
+classic partitioners: split perpendicular to the longer axis at the grid
+line that best balances the two halves.  The bisection quality α̂ depends
+on the density field (smooth fields give α̂ ≈ 1/2; a point hot-spot can
+make it poor), which is exactly the behaviour the α-bisector framework
+abstracts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import BisectableProblem
+
+__all__ = ["GridDomainProblem", "gaussian_hotspot_density", "uniform_density"]
+
+
+def uniform_density(shape: Tuple[int, int]) -> np.ndarray:
+    """Unit work per cell -- the perfectly homogeneous domain."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def gaussian_hotspot_density(
+    shape: Tuple[int, int],
+    *,
+    n_hotspots: int = 3,
+    peak: float = 50.0,
+    width_frac: float = 0.08,
+    seed: int = 0,
+) -> np.ndarray:
+    """Background work 1 plus ``n_hotspots`` Gaussian blobs of height ``peak``.
+
+    Mimics adaptively refined meshes: most cells cheap, refinement regions
+    expensive.
+    """
+    if min(shape) < 1:
+        raise ValueError(f"shape must be positive, got {shape}")
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0 : shape[0], 0 : shape[1]]
+    density = np.ones(shape, dtype=np.float64)
+    sigma = max(1.0, width_frac * max(shape))
+    for _ in range(n_hotspots):
+        cy = rng.uniform(0, shape[0])
+        cx = rng.uniform(0, shape[1])
+        density += peak * np.exp(
+            -((ys - cy) ** 2 + (xs - cx) ** 2) / (2.0 * sigma**2)
+        )
+    return density
+
+
+class GridDomainProblem(BisectableProblem):
+    """A rectangular region ``[r0, r1) × [c0, c1)`` of a density grid.
+
+    All regions share the same immutable global density array and its
+    2-D prefix-sum table, so weights and split searches are O(extent), not
+    O(area).
+    """
+
+    def __init__(
+        self,
+        density: np.ndarray,
+        *,
+        region: Optional[Tuple[int, int, int, int]] = None,
+        _prefix: Optional[np.ndarray] = None,
+        alpha: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        density = np.asarray(density, dtype=np.float64)
+        if density.ndim != 2 or density.size == 0:
+            raise ValueError("density must be a non-empty 2-D array")
+        if np.any(density <= 0):
+            raise ValueError("cell densities must be strictly positive")
+        self._density = density
+        if _prefix is None:
+            _prefix = np.zeros(
+                (density.shape[0] + 1, density.shape[1] + 1), dtype=np.float64
+            )
+            np.cumsum(np.cumsum(density, axis=0), axis=1, out=_prefix[1:, 1:])
+        self._prefix = _prefix
+        if region is None:
+            region = (0, density.shape[0], 0, density.shape[1])
+        r0, r1, c0, c1 = region
+        if not (0 <= r0 < r1 <= density.shape[0] and 0 <= c0 < c1 <= density.shape[1]):
+            raise ValueError(f"invalid region {region} for grid {density.shape}")
+        self._region = (r0, r1, c0, c1)
+        self._weight = self._rect_sum(r0, r1, c0, c1)
+        self._alpha = alpha
+
+    # ------------------------------------------------------------------
+
+    def _rect_sum(self, r0: int, r1: int, c0: int, c1: int) -> float:
+        p = self._prefix
+        return float(p[r1, c1] - p[r0, c1] - p[r1, c0] + p[r0, c0])
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def region(self) -> Tuple[int, int, int, int]:
+        return self._region
+
+    @property
+    def n_cells(self) -> int:
+        r0, r1, c0, c1 = self._region
+        return (r1 - r0) * (c1 - c0)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        r0, r1, c0, c1 = self._region
+        return (r1 - r0, c1 - c0)
+
+    @property
+    def can_bisect(self) -> bool:
+        """Single-cell regions are atomic."""
+        return self.n_cells >= 2
+
+    # ------------------------------------------------------------------
+
+    def _bisect_once(self) -> Tuple["GridDomainProblem", "GridDomainProblem"]:
+        if not self.can_bisect:
+            raise ValueError(
+                "cannot bisect a single-cell region: ask for at most as "
+                "many pieces as there are grid cells"
+            )
+        r0, r1, c0, c1 = self._region
+        rows, cols = r1 - r0, c1 - c0
+        # Split perpendicular to the longer axis (RCB); if that axis has
+        # extent 1 fall back to the other.
+        split_rows = rows >= cols if rows > 1 else False
+        if cols == 1:
+            split_rows = True
+
+        target = self._weight / 2.0
+        if split_rows:
+            # candidate cut after row k, k in [r0+1, r1-1]
+            cuts = np.arange(r0 + 1, r1)
+            sums = self._prefix[cuts, c1] - self._prefix[cuts, c0] - (
+                self._prefix[r0, c1] - self._prefix[r0, c0]
+            )
+            k = int(cuts[np.argmin(np.abs(sums - target))])
+            reg_a = (r0, k, c0, c1)
+            reg_b = (k, r1, c0, c1)
+        else:
+            cuts = np.arange(c0 + 1, c1)
+            sums = self._prefix[r1, cuts] - self._prefix[r0, cuts] - (
+                self._prefix[r1, c0] - self._prefix[r0, c0]
+            )
+            k = int(cuts[np.argmin(np.abs(sums - target))])
+            reg_a = (r0, r1, c0, k)
+            reg_b = (r0, r1, k, c1)
+
+        mk = lambda reg: GridDomainProblem(
+            self._density, region=reg, _prefix=self._prefix, alpha=self._alpha
+        )
+        return mk(reg_a), mk(reg_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        r0, r1, c0, c1 = self._region
+        return (
+            f"GridDomainProblem([{r0}:{r1}, {c0}:{c1}], w={self._weight:.6g})"
+        )

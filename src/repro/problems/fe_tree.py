@@ -1,0 +1,252 @@
+"""FE-tree problems: the paper's motivating finite-element application.
+
+The authors' parallel FEM solver (recursive substructuring, refs [1,6,7])
+produces an *unbalanced binary tree* (the FE-tree) whose nodes carry
+computational cost; to parallelise, the FE-tree must be split into subtrees
+distributed over the processors.  "Useful bisection methods for FE-trees"
+are reported in [1]; the one implemented here is the natural *best-edge
+split*: remove the subtree whose total cost is closest to half, yielding
+two forest pieces.
+
+Since the actual FEM code is not available, :func:`random_fe_tree`
+generates synthetic unbalanced FE-trees with controllable skew -- the
+substitution preserves the relevant behaviour (a concrete problem class
+whose per-node bisector quality varies and is *not* an i.i.d. draw).
+
+Representation: immutable nodes with structural sharing.  Bisecting never
+copies the split-off subtree; only the ancestors of the removed node are
+rebuilt, so a full HF run over a tree with ``M`` nodes stays ``O(M log M)``
+in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import BisectableProblem
+
+__all__ = ["FENode", "FETreeProblem", "random_fe_tree"]
+
+
+@dataclass(frozen=True)
+class FENode:
+    """An immutable FE-tree node: own cost plus up to two children."""
+
+    cost: float
+    left: Optional["FENode"] = None
+    right: Optional["FENode"] = None
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError(f"node cost must be positive, got {self.cost}")
+
+    @property
+    def children(self) -> Tuple["FENode", ...]:
+        return tuple(c for c in (self.left, self.right) if c is not None)
+
+    def total_cost(self) -> float:
+        """Sum of costs in the subtree (iterative; trees can be deep)."""
+        total = 0.0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += node.cost
+            stack.extend(node.children)
+        return total
+
+    def size(self) -> int:
+        """Number of nodes in the subtree."""
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+
+class FETreeProblem(BisectableProblem):
+    """A (sub-)FE-tree to be processed by one processor group.
+
+    The bisection removes the subtree hanging below the *best edge*: the
+    edge whose lower endpoint's subtree cost is closest to ``w(p)/2``.
+    Both parts are again FE-trees (the remainder keeps the original root).
+    Ties are broken deterministically by pre-order position, so bisection
+    is a pure function of the tree -- no randomness involved at all.
+    """
+
+    def __init__(self, root: FENode, *, alpha: Optional[float] = None) -> None:
+        super().__init__()
+        if root is None:
+            raise ValueError("root must be an FENode")
+        self._root = root
+        self._weight = root.total_cost()
+        self._alpha = alpha
+
+    # ------------------------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def root(self) -> FENode:
+        return self._root
+
+    @property
+    def n_nodes(self) -> int:
+        return self._root.size()
+
+    @property
+    def can_bisect(self) -> bool:
+        """Single-node trees are atomic."""
+        return self._root.children != ()
+
+    def _bisect_once(self) -> Tuple["FETreeProblem", "FETreeProblem"]:
+        if not self.can_bisect:
+            raise ValueError(
+                "cannot bisect a single-node FE-tree: ask for at most as "
+                "many pieces as there are tree nodes"
+            )
+        split = self._find_best_split()
+        removed, remainder = split
+        return (
+            FETreeProblem(removed, alpha=self._alpha),
+            FETreeProblem(remainder, alpha=self._alpha),
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _find_best_split(self) -> Tuple[FENode, FENode]:
+        """Locate the best edge and rebuild the remainder tree.
+
+        Returns ``(removed_subtree, remainder_root)``.  The search walks the
+        tree once computing subtree sums, picks the non-root node whose
+        subtree cost is closest to half the total (pre-order tie-break),
+        then rebuilds only the ancestor path of the removed node.
+        """
+        target = self._weight / 2.0
+        # Pre-order walk recording (node, path) with path = list of
+        # (ancestor, is_left_child) pairs; keep the best candidate.
+        best_score = float("inf")
+        best_path: Optional[List[Tuple[FENode, bool]]] = None
+        best_node: Optional[FENode] = None
+        # Iterative DFS carrying the path; subtree sums are computed once
+        # into a dict keyed by id() (nodes are shared, never mutated).
+        sums = _subtree_sums(self._root)
+        stack: List[Tuple[FENode, List[Tuple[FENode, bool]]]] = [(self._root, [])]
+        while stack:
+            node, path = stack.pop()
+            if path:  # non-root nodes are candidates
+                score = abs(sums[id(node)] - target)
+                if score < best_score - 1e-15:
+                    best_score = score
+                    best_path = path
+                    best_node = node
+            # push right first so left is processed first (pre-order)
+            if node.right is not None:
+                stack.append((node.right, path + [(node, False)]))
+            if node.left is not None:
+                stack.append((node.left, path + [(node, True)]))
+
+        assert best_node is not None and best_path is not None
+        remainder = _rebuild_without(best_path)
+        return best_node, remainder
+
+
+def _subtree_sums(root: FENode) -> dict:
+    """Post-order subtree cost sums keyed by ``id(node)``."""
+    sums: dict = {}
+    stack: List[Tuple[FENode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            total = node.cost
+            for c in node.children:
+                total += sums[id(c)]
+            sums[id(node)] = total
+        else:
+            stack.append((node, True))
+            for c in node.children:
+                stack.append((c, False))
+    return sums
+
+
+def _rebuild_without(path: List[Tuple[FENode, bool]]) -> FENode:
+    """Rebuild the ancestor chain of ``removed`` with that child pruned.
+
+    Only the ``len(path)`` ancestors are re-created; every other subtree is
+    shared with the original (immutable) tree.
+    """
+    parent, went_left = path[-1]
+    if went_left:
+        rebuilt = FENode(parent.cost, left=None, right=parent.right)
+    else:
+        rebuilt = FENode(parent.cost, left=parent.left, right=None)
+    for ancestor, was_left in reversed(path[:-1]):
+        if was_left:
+            rebuilt = FENode(ancestor.cost, left=rebuilt, right=ancestor.right)
+        else:
+            rebuilt = FENode(ancestor.cost, left=ancestor.left, right=rebuilt)
+    return rebuilt
+
+
+def random_fe_tree(
+    n_nodes: int,
+    *,
+    seed: int = 0,
+    skew: float = 0.7,
+    cost_spread: float = 4.0,
+) -> FETreeProblem:
+    """Generate a synthetic unbalanced FE-tree with ``n_nodes`` nodes.
+
+    ``skew ∈ [0.5, 1)`` controls shape: each insertion descends left with
+    probability ``skew`` (0.5 = random balanced-ish, →1 = degenerate path,
+    mimicking adaptive refinement concentrating in one region).
+    ``cost_spread ≥ 1`` controls node-cost variability (log-uniform in
+    ``[1, cost_spread]``).
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if not (0.5 <= skew < 1.0):
+        raise ValueError(f"skew must be in [0.5, 1), got {skew}")
+    if cost_spread < 1.0:
+        raise ValueError(f"cost_spread must be >= 1, got {cost_spread}")
+    rng = np.random.default_rng(seed)
+    costs = np.exp(rng.uniform(0.0, np.log(cost_spread), size=n_nodes))
+
+    # Build mutable skeleton first (dict-based), then freeze bottom-up.
+    children: List[List[int]] = [[-1, -1]]
+    for i in range(1, n_nodes):
+        # descend from the root until a free slot is found
+        cur = 0
+        while True:
+            go_left = bool(rng.random() < skew)
+            slot = 0 if go_left else 1
+            if children[cur][slot] == -1:
+                children[cur][slot] = i
+                children.append([-1, -1])
+                break
+            cur = children[cur][slot]
+
+    # Freeze iteratively to dodge recursion limits on skewed trees.
+    order: List[int] = []
+    stack = [0]
+    while stack:
+        idx = stack.pop()
+        order.append(idx)
+        for c in children[idx]:
+            if c != -1:
+                stack.append(c)
+    frozen: dict = {}
+    for idx in reversed(order):
+        li, ri = children[idx]
+        frozen[idx] = FENode(
+            float(costs[idx]),
+            left=frozen[li] if li != -1 else None,
+            right=frozen[ri] if ri != -1 else None,
+        )
+    return FETreeProblem(frozen[0])

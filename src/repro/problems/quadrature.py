@@ -1,0 +1,192 @@
+"""Adaptive-quadrature problems: multi-dimensional integration regions.
+
+The paper lists "multi-dimensional adaptive numerical quadrature" (Bonk
+[4]) among the applications of bisection-based load balancing.  A problem
+is a hyper-rectangle over which some integrand must be integrated; its
+weight is the *estimated work* (a difficulty estimate of the integrand on
+the region).  Bisection splits the box at the midpoint of its longest axis
+and divides the parent's weight between the halves proportionally to their
+estimated difficulty -- so weight is conserved exactly, as Definition 1
+requires, while the bisection quality α̂ reflects how unevenly the
+integrand's difficulty is distributed.
+
+Difficulty estimation uses a small deterministic tensor sample grid, so
+bisection is a pure function of the region (idempotent, algorithm-order
+independent).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import BisectableProblem
+
+__all__ = ["QuadratureProblem", "peak_integrand", "oscillatory_integrand"]
+
+Integrand = Callable[[np.ndarray], np.ndarray]
+
+
+def peak_integrand(
+    center: Sequence[float], sharpness: float = 25.0
+) -> Integrand:
+    """A Gaussian peak at ``center``: difficulty concentrates around it.
+
+    The classic adaptive-quadrature stress case -- regions near the peak
+    are much heavier than far ones, giving strongly uneven bisections.
+    """
+    c = np.asarray(center, dtype=np.float64)
+
+    def f(x: np.ndarray) -> np.ndarray:
+        d2 = ((x - c) ** 2).sum(axis=-1)
+        return np.exp(-sharpness * d2)
+
+    return f
+
+
+def oscillatory_integrand(frequency: float = 6.0) -> Integrand:
+    """``1.5 + Σ sin(2π f x_i)``: difficulty spread roughly evenly."""
+
+    def f(x: np.ndarray) -> np.ndarray:
+        return 1.5 + np.sin(2.0 * np.pi * frequency * x).sum(axis=-1) / max(
+            1, x.shape[-1]
+        )
+
+    return f
+
+
+class QuadratureProblem(BisectableProblem):
+    """An axis-aligned box with an estimated quadrature workload.
+
+    Parameters
+    ----------
+    lower, upper:
+        Box corners (1-D arrays of equal length, lower < upper).
+    integrand:
+        Non-negative difficulty density sampled on a tensor grid.
+    weight:
+        Work assigned to this box.  For the root, pass ``None`` to use the
+        box's own difficulty estimate; children receive their share of the
+        parent's weight (exact conservation).
+    samples_per_axis:
+        Resolution of the difficulty-estimation grid (≥ 2).
+    """
+
+    def __init__(
+        self,
+        lower: Sequence[float],
+        upper: Sequence[float],
+        integrand: Integrand,
+        *,
+        weight: Optional[float] = None,
+        samples_per_axis: int = 5,
+        min_alpha: float = 0.05,
+    ) -> None:
+        super().__init__()
+        self._lower = np.asarray(lower, dtype=np.float64)
+        self._upper = np.asarray(upper, dtype=np.float64)
+        if self._lower.shape != self._upper.shape or self._lower.ndim != 1:
+            raise ValueError("lower/upper must be 1-D arrays of equal length")
+        if np.any(self._lower >= self._upper):
+            raise ValueError("need lower < upper along every axis")
+        if samples_per_axis < 2:
+            raise ValueError(f"samples_per_axis must be >= 2, got {samples_per_axis}")
+        if not (0.0 < min_alpha <= 0.5):
+            raise ValueError(f"min_alpha must be in (0, 1/2], got {min_alpha}")
+        self._integrand = integrand
+        self._samples = int(samples_per_axis)
+        self._min_alpha = float(min_alpha)
+        self._alpha = self._min_alpha
+        if weight is None:
+            weight = self._estimate_difficulty(self._lower, self._upper)
+            if weight <= 0:
+                raise ValueError("integrand difficulty estimate is zero on the box")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._weight = float(weight)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def lower(self) -> np.ndarray:
+        return self._lower.copy()
+
+    @property
+    def upper(self) -> np.ndarray:
+        return self._upper.copy()
+
+    @property
+    def integrand(self) -> Integrand:
+        return self._integrand
+
+    @property
+    def dim(self) -> int:
+        return int(self._lower.size)
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self._upper - self._lower))
+
+    # ------------------------------------------------------------------
+
+    def _estimate_difficulty(self, lo: np.ndarray, hi: np.ndarray) -> float:
+        """Mean integrand value on a tensor grid × box volume.
+
+        A deterministic, cheap stand-in for the error estimators real
+        adaptive quadrature uses; only *relative* difficulty between sibling
+        boxes matters for load balancing.
+        """
+        axes = [
+            np.linspace(lo[d], hi[d], self._samples) for d in range(lo.size)
+        ]
+        mesh = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1)
+        vals = np.asarray(self._integrand(mesh), dtype=np.float64)
+        if np.any(vals < 0):
+            raise ValueError("integrand difficulty must be non-negative")
+        vol = float(np.prod(hi - lo))
+        return float(vals.mean()) * vol
+
+    def _bisect_once(self) -> Tuple["QuadratureProblem", "QuadratureProblem"]:
+        extent = self._upper - self._lower
+        axis = int(np.argmax(extent))
+        mid = 0.5 * (self._lower[axis] + self._upper[axis])
+
+        lo1, hi1 = self._lower.copy(), self._upper.copy()
+        hi1[axis] = mid
+        lo2, hi2 = self._lower.copy(), self._upper.copy()
+        lo2[axis] = mid
+
+        e1 = self._estimate_difficulty(lo1, hi1)
+        e2 = self._estimate_difficulty(lo2, hi2)
+        total = e1 + e2
+        if total <= 0:
+            share = 0.5
+        else:
+            share = e1 / total
+        # Clamp to the declared guarantee: real quadrature codes floor the
+        # work estimate (every region costs at least the base rule).
+        share = min(1.0 - self._min_alpha, max(self._min_alpha, share))
+
+        kwargs = dict(
+            integrand=self._integrand,
+            samples_per_axis=self._samples,
+            min_alpha=self._min_alpha,
+        )
+        child1 = QuadratureProblem(
+            lo1, hi1, weight=self._weight * share, **kwargs
+        )
+        child2 = QuadratureProblem(
+            lo2, hi2, weight=self._weight * (1.0 - share), **kwargs
+        )
+        return child1, child2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        box = "x".join(
+            f"[{a:.3g},{b:.3g}]" for a, b in zip(self._lower, self._upper)
+        )
+        return f"QuadratureProblem({box}, w={self._weight:.6g})"

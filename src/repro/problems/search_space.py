@@ -1,0 +1,185 @@
+"""Search-space problems: parallel backtrack search / branch-and-bound.
+
+The paper lists "parts of the search space for an optimization problem
+(cf. [9])" -- Karp & Zhang's randomized parallel backtrack search -- among
+the things its abstract problems may represent.  Here a problem is a
+*frontier*: a set of unexpanded search-tree nodes, each carrying an
+estimated subtree workload.  Bisection splits the frontier into two
+near-balanced halves (greedy LPT over the estimates); a frontier holding a
+single node first *expands* it (deterministically, from the node's seed)
+into its children and then splits those.
+
+This family exercises a bisection style none of the others has: the two
+children of a bisection are not geometric halves but arbitrary subsets,
+and the achievable balance depends on how lumpy the estimates are --
+exactly the situation the α-bisector abstraction was built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import BisectableProblem
+from repro.utils.rng import child_seed
+
+__all__ = ["FrontierNode", "SearchSpaceProblem"]
+
+
+@dataclass(frozen=True)
+class FrontierNode:
+    """An unexpanded search-tree node with an estimated subtree workload."""
+
+    seed: int
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError(f"work must be positive, got {self.work}")
+
+    def expand(
+        self,
+        *,
+        min_children: int,
+        max_children: int,
+        concentration: float,
+    ) -> List["FrontierNode"]:
+        """Deterministically expand into child frontier nodes.
+
+        The child count and the work split are pure functions of the
+        node's seed: a Dirichlet-like draw (normalised Gamma variates with
+        shape ``concentration``) distributes the parent's work over the
+        children, conserving it exactly.  Larger ``concentration`` gives
+        more even children (an easier search space).
+        """
+        rng = np.random.default_rng(self.seed)
+        k = int(rng.integers(min_children, max_children + 1))
+        shares = rng.gamma(concentration, size=k)
+        shares = shares / shares.sum()
+        return [
+            FrontierNode(seed=child_seed(self.seed, i), work=float(self.work * s))
+            for i, s in enumerate(shares)
+        ]
+
+
+class SearchSpaceProblem(BisectableProblem):
+    """A frontier of search-tree nodes to be explored by one processor group.
+
+    Parameters
+    ----------
+    frontier:
+        The unexpanded nodes.  Use :meth:`root` for a fresh search.
+    min_children / max_children:
+        Branching-factor range of the (synthetic) search tree.
+    concentration:
+        Gamma shape of the work split at expansions; higher = more even.
+    """
+
+    def __init__(
+        self,
+        frontier: Sequence[FrontierNode],
+        *,
+        min_children: int = 2,
+        max_children: int = 5,
+        concentration: float = 2.0,
+    ) -> None:
+        super().__init__()
+        if not frontier:
+            raise ValueError("frontier must be non-empty")
+        if not (2 <= min_children <= max_children):
+            raise ValueError(
+                f"need 2 <= min_children <= max_children, got "
+                f"{min_children}, {max_children}"
+            )
+        if concentration <= 0:
+            raise ValueError(f"concentration must be positive, got {concentration}")
+        self._frontier = tuple(frontier)
+        self._weight = float(sum(node.work for node in frontier))
+        self._min_children = min_children
+        self._max_children = max_children
+        self._concentration = concentration
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def root(
+        cls,
+        total_work: float = 1.0,
+        *,
+        seed: int = 0,
+        min_children: int = 2,
+        max_children: int = 5,
+        concentration: float = 2.0,
+    ) -> "SearchSpaceProblem":
+        """A fresh search space: one root node carrying all the work."""
+        return cls(
+            [FrontierNode(seed=seed, work=total_work)],
+            min_children=min_children,
+            max_children=max_children,
+            concentration=concentration,
+        )
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def frontier(self) -> Tuple[FrontierNode, ...]:
+        return self._frontier
+
+    @property
+    def n_frontier_nodes(self) -> int:
+        return len(self._frontier)
+
+    # ------------------------------------------------------------------
+
+    def _bisect_once(self) -> Tuple["SearchSpaceProblem", "SearchSpaceProblem"]:
+        nodes = list(self._frontier)
+        if len(nodes) == 1:
+            nodes = nodes[0].expand(
+                min_children=self._min_children,
+                max_children=self._max_children,
+                concentration=self._concentration,
+            )
+        left, right = self._balanced_split(nodes)
+        mk = lambda part: SearchSpaceProblem(
+            part,
+            min_children=self._min_children,
+            max_children=self._max_children,
+            concentration=self._concentration,
+        )
+        return mk(left), mk(right)
+
+    @staticmethod
+    def _balanced_split(
+        nodes: List[FrontierNode],
+    ) -> Tuple[List[FrontierNode], List[FrontierNode]]:
+        """Greedy LPT partition of the nodes into two groups.
+
+        Deterministic: nodes are sorted by (work desc, seed) and assigned
+        to the currently lighter side; both sides end non-empty because
+        there are at least two nodes.
+        """
+        assert len(nodes) >= 2
+        ordered = sorted(nodes, key=lambda n: (-n.work, n.seed))
+        left: List[FrontierNode] = []
+        right: List[FrontierNode] = []
+        w_left = w_right = 0.0
+        for node in ordered:
+            if w_left <= w_right:
+                left.append(node)
+                w_left += node.work
+            else:
+                right.append(node)
+                w_right += node.work
+        if not right:  # all but impossible, guard anyway
+            right.append(left.pop())
+        return left, right
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SearchSpaceProblem(nodes={len(self._frontier)}, "
+            f"w={self._weight:.6g})"
+        )

@@ -1,0 +1,107 @@
+"""Synthetic problems: the paper's stochastic bisection model as objects.
+
+A :class:`SyntheticProblem` is an abstract divisible load of weight ``w``
+whose bisection draws ``α̂`` from an :class:`~repro.problems.samplers.AlphaSampler`
+and yields children of weight ``α̂·w`` and ``(1-α̂)·w``.
+
+Determinism: each node carries a 64-bit seed; the draw is a pure function
+of that seed and child seeds are derived with
+:func:`repro.utils.rng.child_seed`.  Hence a given node always bisects the
+same way -- no matter which algorithm, in which order, on which simulated
+processor asks -- which is exactly the property Theorem 3 (PHF ≡ HF)
+requires, and which mirrors real applications where "bisect problem q" is
+a deterministic procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import BisectableProblem
+from repro.problems.samplers import AlphaSampler, UniformAlpha
+from repro.utils.rng import child_seed
+
+__all__ = ["SyntheticProblem"]
+
+
+class SyntheticProblem(BisectableProblem):
+    """Divisible load following the paper's i.i.d. α̂ model.
+
+    Parameters
+    ----------
+    weight:
+        Load of this (sub)problem, strictly positive.
+    sampler:
+        Distribution of the bisection parameter; also provides the family's
+        guaranteed α (consumed by PHF / BA-HF).
+    seed:
+        Node seed making the bisection deterministic.
+    depth:
+        Depth of this node in its bisection history (root = 0); carried for
+        diagnostics only.
+    """
+
+    __slots__ = ("_weight", "_sampler", "_seed", "depth", "_children")
+
+    def __init__(
+        self,
+        weight: float,
+        sampler: Optional[AlphaSampler] = None,
+        *,
+        seed: int = 0,
+        depth: int = 0,
+    ) -> None:
+        super().__init__()
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._weight = float(weight)
+        self._sampler = sampler if sampler is not None else UniformAlpha(0.1, 0.5)
+        self._seed = int(seed)
+        self.depth = depth
+
+    # ------------------------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def alpha(self) -> float:
+        return self._sampler.alpha
+
+    @property
+    def sampler(self) -> AlphaSampler:
+        return self._sampler
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def _bisect_once(self) -> Tuple["SyntheticProblem", "SyntheticProblem"]:
+        rng = np.random.default_rng(self._seed)
+        a = float(self._sampler.sample(rng))
+        if not (0.0 < a <= 0.5):
+            raise ValueError(f"sampler produced invalid alpha-hat {a}")
+        w2 = a * self._weight
+        w1 = self._weight - w2
+        left = SyntheticProblem(
+            w1,
+            self._sampler,
+            seed=child_seed(self._seed, 0),
+            depth=self.depth + 1,
+        )
+        right = SyntheticProblem(
+            w2,
+            self._sampler,
+            seed=child_seed(self._seed, 1),
+            depth=self.depth + 1,
+        )
+        return left, right
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SyntheticProblem(w={self._weight:.6g}, "
+            f"{self._sampler.describe()}, seed={self._seed:#x})"
+        )

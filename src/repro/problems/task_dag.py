@@ -1,0 +1,215 @@
+"""Program-execution DAGs as bisectable problems.
+
+The paper's Definition-1 discussion notes that abstract problems "might
+correspond to ... program execution dags".  We model the well-behaved
+class of **series-parallel** task graphs: a node is either an atomic task
+with a cost, a *series* composition (children run one after another) or a
+*parallel* composition (children are independent).  The weight of a graph
+is its total work.
+
+Bisection splits the composition's children into two contiguous-in-series
+or balanced-in-parallel groups (weight conservation is exact because work
+is additive); an atomic task is indivisible.  Since series children must
+stay contiguous (they are a pipeline), the achievable balance is governed
+by the lumpiness of the child weights -- another concrete instance of an
+α-bisector class whose α must be probed, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.problem import BisectableProblem
+from repro.utils.rng import child_seed
+
+__all__ = ["Task", "Series", "Parallel", "TaskDagProblem", "random_task_dag"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """An atomic unit of work."""
+
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError(f"task cost must be positive, got {self.cost}")
+
+    @property
+    def work(self) -> float:
+        return self.cost
+
+    def count_tasks(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Series:
+    """Children executed sequentially (a pipeline segment)."""
+
+    children: Tuple["DagNode", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("Series needs at least two children")
+
+    @property
+    def work(self) -> float:
+        return sum(c.work for c in self.children)
+
+    def count_tasks(self) -> int:
+        return sum(c.count_tasks() for c in self.children)
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Independent children (a fork-join block)."""
+
+    children: Tuple["DagNode", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("Parallel needs at least two children")
+
+    @property
+    def work(self) -> float:
+        return sum(c.work for c in self.children)
+
+    def count_tasks(self) -> int:
+        return sum(c.count_tasks() for c in self.children)
+
+
+DagNode = Union[Task, Series, Parallel]
+
+
+class TaskDagProblem(BisectableProblem):
+    """A series-parallel task graph to be mapped onto a processor group."""
+
+    def __init__(self, root: DagNode) -> None:
+        super().__init__()
+        self._root = root
+        self._weight = float(root.work)
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def root(self) -> DagNode:
+        return self._root
+
+    @property
+    def n_tasks(self) -> int:
+        return self._root.count_tasks()
+
+    @property
+    def can_bisect(self) -> bool:
+        return not isinstance(self._root, Task)
+
+    # ------------------------------------------------------------------
+
+    def _bisect_once(self) -> Tuple["TaskDagProblem", "TaskDagProblem"]:
+        if isinstance(self._root, Task):
+            raise ValueError(
+                "cannot bisect an atomic task: ask for at most as many "
+                "pieces as there are tasks"
+            )
+        children = self._root.children
+        if isinstance(self._root, Series):
+            groups = _best_contiguous_split(children)
+        else:
+            groups = _balanced_subset_split(children)
+        return (
+            TaskDagProblem(_wrap(type(self._root), groups[0])),
+            TaskDagProblem(_wrap(type(self._root), groups[1])),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskDagProblem(tasks={self.n_tasks}, w={self._weight:.6g})"
+
+
+def _wrap(kind, children: Sequence[DagNode]) -> DagNode:
+    """Re-wrap a child group; single children collapse to the child."""
+    if len(children) == 1:
+        return children[0]
+    return kind(tuple(children))
+
+
+def _best_contiguous_split(
+    children: Sequence[DagNode],
+) -> Tuple[Tuple[DagNode, ...], Tuple[DagNode, ...]]:
+    """Series split: the cut position closest to half the work."""
+    works = [c.work for c in children]
+    total = sum(works)
+    best_k, best_err = 1, float("inf")
+    acc = 0.0
+    for k in range(1, len(children)):
+        acc += works[k - 1]
+        err = abs(acc - total / 2.0)
+        if err < best_err - 1e-15:
+            best_k, best_err = k, err
+    return tuple(children[:best_k]), tuple(children[best_k:])
+
+
+def _balanced_subset_split(
+    children: Sequence[DagNode],
+) -> Tuple[Tuple[DagNode, ...], Tuple[DagNode, ...]]:
+    """Parallel split: greedy LPT over the children (order-independent)."""
+    order = sorted(range(len(children)), key=lambda i: (-children[i].work, i))
+    left: List[int] = []
+    right: List[int] = []
+    w_left = w_right = 0.0
+    for i in order:
+        if w_left <= w_right:
+            left.append(i)
+            w_left += children[i].work
+        else:
+            right.append(i)
+            w_right += children[i].work
+    left.sort()
+    right.sort()
+    return (
+        tuple(children[i] for i in left),
+        tuple(children[i] for i in right),
+    )
+
+
+def random_task_dag(
+    n_tasks: int,
+    *,
+    seed: int = 0,
+    parallel_bias: float = 0.6,
+    fanout: int = 4,
+    cost_spread: float = 5.0,
+) -> TaskDagProblem:
+    """Generate a random series-parallel program with ``n_tasks`` tasks.
+
+    ``parallel_bias`` is the probability an internal composition is
+    Parallel rather than Series; ``fanout`` bounds the children per
+    composition; task costs are log-uniform in ``[1, cost_spread]``.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    if not (0.0 <= parallel_bias <= 1.0):
+        raise ValueError(f"parallel_bias must be in [0,1], got {parallel_bias}")
+    if fanout < 2:
+        raise ValueError(f"fanout must be >= 2, got {fanout}")
+    if cost_spread < 1.0:
+        raise ValueError(f"cost_spread must be >= 1, got {cost_spread}")
+    rng = np.random.default_rng(seed)
+
+    def build(budget: int) -> DagNode:
+        if budget == 1:
+            return Task(float(np.exp(rng.uniform(0.0, np.log(cost_spread)))))
+        k = int(min(budget, rng.integers(2, fanout + 1)))
+        # split the task budget over k children, each at least 1
+        cuts = np.sort(rng.choice(np.arange(1, budget), size=k - 1, replace=False))
+        sizes = np.diff(np.concatenate([[0], cuts, [budget]])).astype(int)
+        children = tuple(build(int(s)) for s in sizes)
+        kind = Parallel if rng.random() < parallel_bias else Series
+        return kind(children)
+
+    return TaskDagProblem(build(n_tasks))

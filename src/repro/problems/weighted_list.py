@@ -1,0 +1,120 @@
+"""Weighted-list problems bisected by a random pivot.
+
+Section 4 of the paper motivates the uniform α̂ model with exactly this
+class: "problems are represented by lists of elements taken from an ordered
+set, and a list is bisected by choosing a random pivot element and
+partitioning the list into those elements that are smaller than the pivot
+and those that are larger".
+
+A :class:`ListProblem` owns a contiguous run of elements (think: keys to be
+processed, already sorted); its weight is the total element weight.  A
+bisection draws a cut position uniformly among the ``len - 1`` interior
+positions -- for unit element weights the lighter-child share is then close
+to uniform on (0, 1/2], reproducing the paper's model from first
+principles (tested in ``tests/test_weighted_list.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import BisectableProblem
+from repro.utils.rng import child_seed
+
+__all__ = ["ListProblem"]
+
+
+class ListProblem(BisectableProblem):
+    """A contiguous slice of a weighted, ordered element list.
+
+    Parameters
+    ----------
+    element_weights:
+        Positive weights of the elements (a 1-D array).  The problem's
+        weight is their sum.
+    seed:
+        Node seed; the pivot draw is a pure function of it (deterministic,
+        idempotent bisection).
+    """
+
+    def __init__(
+        self,
+        element_weights: Sequence[float] | np.ndarray,
+        *,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        arr = np.asarray(element_weights, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("element_weights must be a non-empty 1-D array")
+        if np.any(arr <= 0):
+            raise ValueError("element weights must be strictly positive")
+        self._elements = arr
+        self._weight = float(arr.sum())
+        self._seed = int(seed)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, n_elements: int, *, seed: int = 0) -> "ListProblem":
+        """``n_elements`` unit-weight elements (the paper's clean case)."""
+        if n_elements < 1:
+            raise ValueError(f"n_elements must be >= 1, got {n_elements}")
+        return cls(np.ones(n_elements), seed=seed)
+
+    @classmethod
+    def random(
+        cls,
+        n_elements: int,
+        *,
+        seed: int = 0,
+        spread: float = 2.0,
+    ) -> "ListProblem":
+        """Elements with log-uniform weights in ``[1, spread]``."""
+        if n_elements < 1:
+            raise ValueError(f"n_elements must be >= 1, got {n_elements}")
+        if spread < 1.0:
+            raise ValueError(f"spread must be >= 1, got {spread}")
+        rng = np.random.default_rng(seed)
+        w = np.exp(rng.uniform(0.0, np.log(spread), size=n_elements))
+        return cls(w, seed=child_seed(seed, 0xE1E))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def n_elements(self) -> int:
+        return int(self._elements.size)
+
+    @property
+    def elements(self) -> np.ndarray:
+        """Read-only view of the element weights."""
+        view = self._elements.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def can_bisect(self) -> bool:
+        """Lists of one element are atomic."""
+        return self._elements.size >= 2
+
+    def _bisect_once(self) -> Tuple["ListProblem", "ListProblem"]:
+        n = self._elements.size
+        if n < 2:
+            raise ValueError(
+                "cannot bisect a single-element list: ask for at most as "
+                "many pieces as there are elements"
+            )
+        rng = np.random.default_rng(self._seed)
+        cut = int(rng.integers(1, n))  # cut position in [1, n-1]
+        left = ListProblem(self._elements[:cut], seed=child_seed(self._seed, 0))
+        right = ListProblem(self._elements[cut:], seed=child_seed(self._seed, 1))
+        return left, right
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ListProblem(n={self.n_elements}, w={self._weight:.6g})"

@@ -1,0 +1,123 @@
+"""Algorithm BA on the simulated machine.
+
+BA's execution maps onto the machine with *no* global communication
+(Section 3.2/3.4): a processor holding a problem with processor range
+``[i, j]`` bisects it (one time unit), sends the second child to
+``P_{i+N1}`` (one time unit, range piggybacked on the message) and
+immediately continues with the first child; the receiver proceeds the same
+way.  The makespan is therefore governed by the bisection-tree depth --
+``O(log N)`` for fixed α -- and the message count is exactly the number of
+bisections that assign both children at least one processor... i.e. every
+bisection ships exactly one child: ``N - 1`` messages in total.
+
+``simulate_ba_prime`` is the BA′ variant (no bisection below a weight
+threshold) used as the first stage of PHF's phase 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ba import ba_split
+from repro.core.partition import Partition
+from repro.core.problem import BisectableProblem
+from repro.simulator.engine import Simulator
+from repro.simulator.freeproc import RangeManager
+from repro.simulator.machine import Machine, MachineConfig
+from repro.simulator.trace import SimulationResult
+
+__all__ = ["simulate_ba", "simulate_ba_prime"]
+
+
+def simulate_ba(
+    problem: BisectableProblem,
+    n_processors: int,
+    *,
+    config: Optional[MachineConfig] = None,
+) -> SimulationResult:
+    """Simulate BA; returns timing plus the (BA-identical) partition."""
+    result = _simulate_ba_impl(problem, n_processors, config, skip_threshold=None)
+    return result
+
+
+def simulate_ba_prime(
+    problem: BisectableProblem,
+    n_processors: int,
+    skip_threshold: float,
+    *,
+    config: Optional[MachineConfig] = None,
+) -> SimulationResult:
+    """Simulate BA′ (BA that never bisects pieces ≤ ``skip_threshold``)."""
+    if skip_threshold <= 0:
+        raise ValueError(f"skip_threshold must be positive, got {skip_threshold}")
+    return _simulate_ba_impl(
+        problem, n_processors, config, skip_threshold=skip_threshold
+    )
+
+
+def _simulate_ba_impl(
+    problem: BisectableProblem,
+    n_processors: int,
+    config: Optional[MachineConfig],
+    *,
+    skip_threshold: Optional[float],
+) -> SimulationResult:
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    machine = Machine(n_processors, config)
+    sim = Simulator()
+    manager = RangeManager(n_processors)
+
+    # proc id -> (problem, full range it owns)
+    placed: Dict[int, Tuple[BisectableProblem, Tuple[int, int]]] = {}
+
+    def handle(q: BisectableProblem, rng: Tuple[int, int], t: float) -> None:
+        i, j = rng
+        size = j - i + 1
+        if size == 1 or (skip_threshold is not None and q.weight <= skip_threshold):
+            placed[i] = (q, rng)
+            return
+        q1, q2 = q.bisect()
+        end_bisect = machine.bisect_at(i, t)
+        n1, _ = ba_split(q1.weight, q2.weight, size)
+        r1, r2, dst = manager.split(rng, n1)
+        arrival = machine.send(i, dst, end_bisect)
+        machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+        sim.schedule_at(arrival, lambda: handle(q2, r2, arrival))
+        # The sender continues with q1 as soon as its send completes; the
+        # machine's busy bookkeeping enforces the serialisation.
+        sim.schedule_at(end_bisect, lambda: handle(q1, r1, end_bisect))
+
+    sim.schedule(0.0, lambda: handle(problem, manager.initial_range(), 0.0))
+    sim.run()
+
+    pieces_sorted = sorted(placed.items())
+    partition = Partition(
+        pieces=[q for _, (q, _) in pieces_sorted],
+        total_weight=problem.weight,
+        n_processors=n_processors,
+        algorithm="ba" if skip_threshold is None else "ba_prime",
+        num_bisections=machine.n_bisections,
+        meta={
+            "ranges": [rng for _, (_, rng) in pieces_sorted],
+            "skip_threshold": skip_threshold,
+            "free_processors": [
+                p
+                for _, (_, (i, j)) in pieces_sorted
+                for p in range(i + 1, j + 1)
+            ],
+        },
+    )
+    return SimulationResult(
+        partition=partition,
+        parallel_time=machine.makespan,
+        n_messages=machine.n_messages,
+        n_collectives=machine.n_collectives,
+        collective_time=machine.collective_time,
+        n_bisections=machine.n_bisections,
+        utilization=machine.utilization(),
+        n_control_messages=machine.n_control_messages,
+        total_hops=machine.total_hops,
+        events=machine.events,
+        phases={"recursion": machine.makespan},
+    )

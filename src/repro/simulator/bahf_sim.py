@@ -1,0 +1,115 @@
+"""Algorithm BA-HF on the simulated machine.
+
+The BA phase runs exactly like :mod:`repro.simulator.ba_sim` (range-based
+processor management, zero global communication).  Once a subproblem's
+processor count drops below ``λ/α + 1`` the owning processor finishes the
+job with *sequential* HF -- the paper notes that for fixed λ and α this is
+constant extra work per processor, keeping the overall makespan
+``O(log N)``.  (For very large λ/α one would plug PHF in instead; see
+:func:`repro.simulator.phf_sim.simulate_phf` for that building block.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ba import ba_split
+from repro.core.bahf import bahf_threshold
+from repro.core.hf import run_hf
+from repro.core.partition import Partition
+from repro.core.problem import BisectableProblem, check_alpha
+from repro.simulator.engine import Simulator
+from repro.simulator.freeproc import RangeManager
+from repro.simulator.machine import Machine, MachineConfig
+from repro.simulator.trace import SimulationResult
+
+__all__ = ["simulate_bahf"]
+
+
+def simulate_bahf(
+    problem: BisectableProblem,
+    n_processors: int,
+    *,
+    alpha: Optional[float] = None,
+    lam: float = 1.0,
+    config: Optional[MachineConfig] = None,
+) -> SimulationResult:
+    """Simulate BA-HF; the partition matches :func:`repro.core.run_bahf`."""
+    if alpha is None:
+        alpha = problem.alpha
+    if alpha is None:
+        raise ValueError(
+            "BA-HF needs alpha; the problem does not declare one -- pass "
+            "alpha= explicitly"
+        )
+    alpha = check_alpha(alpha)
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    threshold = bahf_threshold(alpha, lam)
+
+    machine = Machine(n_processors, config)
+    sim = Simulator()
+    manager = RangeManager(n_processors)
+    placed: Dict[int, BisectableProblem] = {}
+    ba_end_times: List[float] = [0.0]
+
+    def run_local_hf(q: BisectableProblem, rng: Tuple[int, int], t: float) -> None:
+        """Sequential HF on P_i over range [i, j]; distribute the pieces."""
+        i, j = rng
+        size = j - i + 1
+        sub = run_hf(q, size)
+        clock = t
+        for _ in range(sub.num_bisections):
+            clock = machine.bisect_at(i, clock)
+        placed[i] = sub.pieces[0]
+        for offset, piece in enumerate(sub.pieces[1:], start=1):
+            dst = i + offset
+            arrival = machine.send(i, dst, clock)
+            machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+            placed[dst] = piece
+            clock = arrival
+
+    def handle(q: BisectableProblem, rng: Tuple[int, int], t: float) -> None:
+        i, j = rng
+        size = j - i + 1
+        if size < threshold:
+            ba_end_times[0] = max(ba_end_times[0], t)
+            run_local_hf(q, rng, t)
+            return
+        q1, q2 = q.bisect()
+        end_bisect = machine.bisect_at(i, t)
+        n1, _ = ba_split(q1.weight, q2.weight, size)
+        r1, r2, dst = manager.split(rng, n1)
+        arrival = machine.send(i, dst, end_bisect)
+        machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+        sim.schedule_at(arrival, lambda: handle(q2, r2, arrival))
+        sim.schedule_at(end_bisect, lambda: handle(q1, r1, end_bisect))
+
+    sim.schedule(0.0, lambda: handle(problem, manager.initial_range(), 0.0))
+    sim.run()
+
+    pieces_sorted = sorted(placed.items())
+    partition = Partition(
+        pieces=[q for _, q in pieces_sorted],
+        total_weight=problem.weight,
+        n_processors=n_processors,
+        algorithm="bahf",
+        num_bisections=machine.n_bisections,
+        meta={"lambda": lam, "alpha": alpha, "threshold": threshold},
+    )
+    return SimulationResult(
+        partition=partition,
+        parallel_time=machine.makespan,
+        n_messages=machine.n_messages,
+        n_collectives=machine.n_collectives,
+        collective_time=machine.collective_time,
+        n_bisections=machine.n_bisections,
+        utilization=machine.utilization(),
+        n_control_messages=machine.n_control_messages,
+        total_hops=machine.total_hops,
+        events=machine.events,
+        phases={
+            "ba_phase": ba_end_times[0],
+            "hf_phase": machine.makespan - ba_end_times[0],
+        },
+    )

@@ -1,0 +1,76 @@
+"""Collective-operation cost models.
+
+The paper assumes global operations (barrier, broadcast, max-reduction,
+counting/prefix, selection) complete in ``O(log N)`` -- "satisfied by the
+idealized PRAM model, which can be simulated on many realistic
+architectures with at most logarithmic slowdown".  The default machine
+model charges ``c·⌈log2 N⌉`` accordingly.
+
+Real interconnects differ, so the cost model is pluggable: a latency-heavy
+cluster is closer to ``a + b·log N``; a bus-based machine to ``a + b·N``.
+The runtime study uses these to show where PHF's collective-per-iteration
+structure starts to hurt relative to BA's communication-free recursion --
+the trade-off the paper's conclusion discusses qualitatively.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.utils.mathutils import ilog2
+
+__all__ = [
+    "CollectiveModel",
+    "LogCost",
+    "LinearCost",
+    "ConstantCost",
+]
+
+
+class CollectiveModel(ABC):
+    """Maps a participant count to the duration of one global operation."""
+
+    @abstractmethod
+    def cost(self, n: int) -> float:
+        """Duration of a collective over ``n`` processors (n ≥ 1)."""
+
+    def __call__(self, n: int) -> float:
+        if n < 1:
+            raise ValueError(f"participant count must be >= 1, got {n}")
+        value = self.cost(n)
+        if value < 0:
+            raise ValueError(f"cost model produced negative cost {value}")
+        return value
+
+
+@dataclass(frozen=True)
+class LogCost(CollectiveModel):
+    """``latency + scale · ⌈log2 N⌉`` -- the paper's model (default)."""
+
+    scale: float = 1.0
+    latency: float = 0.0
+
+    def cost(self, n: int) -> float:
+        return self.latency + self.scale * ilog2(n)
+
+
+@dataclass(frozen=True)
+class LinearCost(CollectiveModel):
+    """``latency + scale · (N-1)`` -- bus-like machines, for ablation."""
+
+    scale: float = 1.0
+    latency: float = 0.0
+
+    def cost(self, n: int) -> float:
+        return self.latency + self.scale * (n - 1)
+
+
+@dataclass(frozen=True)
+class ConstantCost(CollectiveModel):
+    """Fixed-cost collectives (hardware barriers / all-reduce offload)."""
+
+    value: float = 1.0
+
+    def cost(self, n: int) -> float:
+        return self.value

@@ -1,0 +1,71 @@
+"""A small discrete-event simulation engine.
+
+The paper analyses its parallel algorithms in an abstract message-passing
+machine model (Section 3): unit-time bisections, unit-time point-to-point
+sends, logarithmic-time global operations.  This engine provides the event
+loop those simulated executions run on.
+
+It is a classic calendar-queue DES: events are ``(time, seq, callback)``
+triples in a binary heap; ``seq`` makes the order total and FIFO among
+simultaneous events, so simulations are perfectly deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulated execution violates model invariants."""
+
+
+class Simulator:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` time units from now (``delay ≥ 0``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulation time ``time`` (≥ now)."""
+        self.schedule(time - self._now, callback)
+
+    def run(self, *, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains; returns the final time.
+
+        ``max_events`` is a runaway guard (a simulation that schedules
+        itself forever raises instead of hanging the host).
+        """
+        while self._queue:
+            if self._events_processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+            time, _, callback = heapq.heappop(self._queue)
+            if time < self._now:
+                raise SimulationError("event queue went back in time")  # pragma: no cover
+            self._now = time
+            self._events_processed += 1
+            callback()
+        return self._now

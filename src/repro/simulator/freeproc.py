@@ -1,0 +1,181 @@
+"""Free-processor management (Section 3.4).
+
+Three managers, mirroring the paper's discussion:
+
+* :class:`RangeManager` -- BA's trivial scheme.  Each subproblem carries the
+  inclusive 1-based range ``[i, j]`` of processors available to it; a
+  bisection at ``P_i`` assigning ``n1`` processors to the first child sends
+  the second child to ``P_{i+n1}`` with range ``[i+n1, j]``.  No
+  communication, no shared state: "no overhead is incurred for the
+  management of free processors at all".
+* :class:`CentralManager` -- the idealized constant-time acquire the
+  abstract model of Section 3 assumes for PHF phase 1 ("a processor that
+  bisects a problem can quickly (in constant time) acquire the number of a
+  free processor").
+* :class:`NumberedFreePool` -- PHF phase 2's scheme: after phase 1 the free
+  processors are counted and numbered 1..f (one O(log N) collective);
+  during phase 2 a bisecting processor *locally* computes which numbered
+  free processor it must target and resolves the number to an id with a
+  single point-to-point request.
+
+All managers are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RangeManager",
+    "CentralManager",
+    "NumberedFreePool",
+    "RandomStealManager",
+]
+
+
+class RangeManager:
+    """BA's range-splitting bookkeeping (pure arithmetic, zero messages)."""
+
+    def __init__(self, n_processors: int) -> None:
+        if n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        self.n = n_processors
+
+    def initial_range(self) -> Tuple[int, int]:
+        """The root problem owns the full range ``[1, N]``."""
+        return (1, self.n)
+
+    def split(
+        self, rng: Tuple[int, int], n1: int
+    ) -> Tuple[Tuple[int, int], Tuple[int, int], int]:
+        """Split range ``[i, j]``, giving ``n1`` processors to child 1.
+
+        Returns ``(range1, range2, destination)`` where ``destination`` is
+        the processor (``i + n1``) that receives child 2.
+        """
+        i, j = rng
+        size = j - i + 1
+        if not (1 <= n1 < size):
+            raise ValueError(f"cannot give {n1} of {size} processors to child 1")
+        r1 = (i, i + n1 - 1)
+        r2 = (i + n1, j)
+        return r1, r2, i + n1
+
+
+class CentralManager:
+    """Idealized O(1)-acquire pool: hands out free processors in id order.
+
+    The paper treats the acquisition cost as constant in its timing
+    analysis and defers realisable schemes to Section 3.4; this class is
+    that idealisation (with an optional per-acquire time charge applied by
+    the machine, see :attr:`MachineConfig.t_acquire`).
+    """
+
+    def __init__(self, n_processors: int, *, first_busy: int = 1) -> None:
+        if n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        self.n = n_processors
+        self._free: List[int] = [
+            p for p in range(1, n_processors + 1) if p != first_busy
+        ]
+        self._next = 0
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free) - self._next
+
+    def acquire(self) -> int:
+        """Return the id of the next free processor; mark it busy."""
+        if self._next >= len(self._free):
+            raise RuntimeError("no free processors left")
+        proc = self._free[self._next]
+        self._next += 1
+        return proc
+
+    def free_ids(self) -> List[int]:
+        """Ids still free, ascending."""
+        return self._free[self._next :]
+
+
+class RandomStealManager:
+    """Randomized probing for a free processor (cf. work stealing, [3]).
+
+    The paper lists "(randomized) work stealing [3]" among the distributed
+    schemes applicable to PHF's phase-1 free-processor problem.  This is
+    the push-side analogue: a processor holding a fresh subproblem probes
+    uniformly random peers until it hits a free one.  Each probe is a
+    control round-trip; :meth:`acquire` returns both the claimed processor
+    and the probe count so the simulation can charge it.
+
+    With ``f`` free among ``n`` processors a probe succeeds with
+    probability ``f/n``, so the expected probe count is ``n/f`` -- cheap
+    early in phase 1, expensive for the last few stragglers; the phase-1
+    ablation quantifies this against the range- and central-manager
+    schemes.
+    """
+
+    def __init__(self, n_processors: int, *, seed: int = 0, first_busy: int = 1) -> None:
+        if n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        self.n = n_processors
+        self._free: Set[int] = {
+            p for p in range(1, n_processors + 1) if p != first_busy
+        }
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> Tuple[int, int]:
+        """Claim a free processor; returns ``(processor_id, n_probes)``."""
+        if not self._free:
+            raise RuntimeError("no free processors left")
+        probes = 0
+        while True:
+            probes += 1
+            candidate = int(self._rng.integers(1, self.n + 1))
+            if candidate in self._free:
+                self._free.discard(candidate)
+                return candidate, probes
+
+    def free_ids(self) -> List[int]:
+        """Ids still free, ascending."""
+        return sorted(self._free)
+
+
+class NumberedFreePool:
+    """PHF phase 2's numbered free processors.
+
+    Constructed once (conceptually one O(log N) collective after phase 1's
+    barrier); afterwards :meth:`resolve` is a local computation plus one
+    point-to-point request -- the caller charges that message itself.
+    """
+
+    def __init__(self, free_ids: List[int]) -> None:
+        self._ids = sorted(free_ids)
+        self._consumed = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._ids) - self._consumed
+
+    def resolve(self, number: int) -> int:
+        """Id of the ``number``-th (1-based) not-yet-used free processor."""
+        idx = self._consumed + number - 1
+        if not (self._consumed <= idx < len(self._ids)):
+            raise ValueError(
+                f"free-processor number {number} out of range "
+                f"(remaining={self.remaining})"
+            )
+        return self._ids[idx]
+
+    def consume(self, count: int) -> List[int]:
+        """Mark the first ``count`` remaining numbers as used; return ids."""
+        if count < 0 or count > self.remaining:
+            raise ValueError(f"cannot consume {count} of {self.remaining}")
+        out = self._ids[self._consumed : self._consumed + count]
+        self._consumed += count
+        return out

@@ -1,0 +1,58 @@
+"""Sequential HF on the simulated machine (the running-time baseline).
+
+The paper: "the sequential Algorithm HF has running-time O(N) for
+distributing a problem onto N processors".  Concretely: P_1 performs all
+``N-1`` bisections back to back, then ships ``N-1`` of the resulting pieces
+to ``P_2 .. P_N`` one send at a time, so the makespan is
+
+    (N-1) · t_bisect + (N-1) · t_send.
+
+This is the linear-time baseline the ``O(log N)`` parallel algorithms are
+measured against in the runtime study (experiment E5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hf import run_hf
+from repro.core.problem import BisectableProblem
+from repro.simulator.machine import Machine, MachineConfig
+from repro.simulator.trace import SimulationResult
+
+__all__ = ["simulate_hf"]
+
+
+def simulate_hf(
+    problem: BisectableProblem,
+    n_processors: int,
+    *,
+    config: Optional[MachineConfig] = None,
+) -> SimulationResult:
+    """Run sequential HF on ``P_1`` and distribute the pieces."""
+    machine = Machine(n_processors, config)
+    partition = run_hf(problem, n_processors)
+
+    t = 0.0
+    for _ in range(partition.num_bisections):
+        t = machine.bisect_at(1, t)
+    bisect_done = t
+    # Ship pieces 2..N; piece 1 stays on P_1.
+    for dst in range(2, len(partition.pieces) + 1):
+        arrival = machine.send(1, dst, t)
+        machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+        t = arrival
+
+    return SimulationResult(
+        partition=partition,
+        parallel_time=machine.makespan,
+        n_messages=machine.n_messages,
+        n_collectives=machine.n_collectives,
+        collective_time=machine.collective_time,
+        n_bisections=machine.n_bisections,
+        utilization=machine.utilization(),
+        n_control_messages=machine.n_control_messages,
+        total_hops=machine.total_hops,
+        events=machine.events,
+        phases={"bisect": bisect_done, "distribute": machine.makespan - bisect_done},
+    )

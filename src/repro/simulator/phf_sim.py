@@ -1,0 +1,314 @@
+"""Algorithm PHF on the simulated machine (Figure 2, Section 3.1/3.4).
+
+Phase 1 distributes bisection work across processors as soon as pieces
+exist: a processor whose local piece exceeds ``T = w(p)·r_α/N`` bisects it,
+acquires a free processor, ships one child there and keeps going with the
+other child.  Two implementations of the free-processor acquisition are
+provided, mirroring Section 3.4:
+
+* ``phase1="central"`` -- the idealized constant-time acquire the paper's
+  timing analysis assumes (cost ``t_acquire`` per call, default 0).
+* ``phase1="ba_prime"`` -- the realisable scheme the paper outlines: run
+  BA′ (range-managed, zero-overhead) so that only pieces assigned exactly
+  one processor may still exceed T, then finish with a constant number of
+  collective *peel rounds* in each of which every over-threshold piece is
+  bisected and one child shipped to a numbered free processor.
+* ``phase1="steal"`` -- randomized probing for free processors, the
+  work-stealing-style distributed scheme the paper also mentions ([3]);
+  each probe is charged as a control round-trip.
+
+Phase 2 is the collective band-peeling loop of Figure 2 steps (c)-(h):
+per iteration one max-reduction (d), one count/numbering (e), optionally
+one selection (only when ``h > f``, which can happen in the last iteration
+only), the parallel bisect+send, and a barrier (h).  Every collective is
+charged ``c_coll·⌈log2 N⌉``.
+
+The produced partition is *identical* to sequential HF's (Theorem 3) --
+asserted in the integration tests for both phase-1 modes and both
+keep-child policies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ba import ba_split
+from repro.core.partition import Partition
+from repro.core.phf import phf_threshold
+from repro.core.problem import BisectableProblem, check_alpha
+from repro.simulator.engine import SimulationError, Simulator
+from repro.simulator.freeproc import (
+    CentralManager,
+    NumberedFreePool,
+    RandomStealManager,
+    RangeManager,
+)
+from repro.simulator.machine import Machine, MachineConfig
+from repro.simulator.trace import SimulationResult
+
+__all__ = ["simulate_phf"]
+
+
+def simulate_phf(
+    problem: BisectableProblem,
+    n_processors: int,
+    *,
+    alpha: Optional[float] = None,
+    config: Optional[MachineConfig] = None,
+    phase1: str = "central",
+    keep: str = "heavy",
+    steal_seed: int = 0,
+) -> SimulationResult:
+    """Simulate PHF.
+
+    Parameters
+    ----------
+    phase1:
+        ``"central"``, ``"ba_prime"`` or ``"steal"`` (see module docstring).
+    keep:
+        Which child the bisecting processor keeps in phase 1: ``"heavy"``
+        or ``"light"``.  The final partition is invariant; the makespan is
+        not (an ablation knob for the runtime study).
+    steal_seed:
+        Seed for the randomized probing when ``phase1="steal"``.
+    """
+    if alpha is None:
+        alpha = problem.alpha
+    if alpha is None:
+        raise ValueError(
+            "PHF needs alpha; the problem does not declare one -- pass "
+            "alpha= explicitly"
+        )
+    alpha = check_alpha(alpha)
+    if phase1 not in ("central", "ba_prime", "steal"):
+        raise ValueError(
+            f"phase1 must be 'central', 'ba_prime' or 'steal', got {phase1!r}"
+        )
+    if keep not in ("heavy", "light"):
+        raise ValueError(f"keep must be 'heavy' or 'light', got {keep!r}")
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+
+    total = problem.weight
+    threshold = phf_threshold(total, alpha, n_processors)
+    machine = Machine(n_processors, config)
+    pieces: Dict[int, BisectableProblem] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    if phase1 in ("central", "steal"):
+        extra_rounds = _phase1_central(
+            problem,
+            machine,
+            pieces,
+            threshold,
+            keep,
+            mode=phase1,
+            steal_seed=steal_seed,
+        )
+    else:
+        extra_rounds = _phase1_ba_prime(
+            problem, machine, pieces, threshold, keep
+        )
+
+    # (b) barrier, (c) count + number the free processors: two collectives.
+    t = machine.collective(machine.makespan)
+    t = machine.collective(t)
+    phase1_end = t
+    free_ids = [p for p in range(1, n_processors + 1) if p not in pieces]
+    pool = NumberedFreePool(free_ids)
+
+    # ------------------------------------------------------------------
+    # Phase 2 (steps (c)-(h) of Figure 2)
+    # ------------------------------------------------------------------
+    f = len(free_ids)
+    rounds = 0
+    while f > 0:
+        rounds += 1
+        t = machine.collective(t)  # (d) m := max weight
+        t = machine.collective(t)  # (e) h := band count + numbering
+        m = max(q.weight for q in pieces.values())
+        band = sorted(
+            (proc for proc, q in pieces.items() if q.weight >= m * (1.0 - alpha)),
+            key=lambda proc: (-pieces[proc].weight, proc),
+        )
+        h = len(band)
+        if h > f:
+            t = machine.collective(t)  # determine the f heaviest (selection)
+            band = band[:f]
+        destinations = pool.consume(len(band))
+        finish = t
+        for number, (proc, dst) in enumerate(zip(band, destinations), start=1):
+            q1, q2 = pieces[proc].bisect()
+            end_b = machine.bisect_at(proc, t)
+            # resolve the id of the number-th free processor: one control
+            # round-trip to the processor storing it (P_number).
+            end_r = machine.control_request(proc, number, end_b)
+            arrival = machine.send(proc, dst, end_r)
+            machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+            keep_piece, ship_piece = (q1, q2) if keep == "heavy" else (q2, q1)
+            pieces[proc] = keep_piece
+            pieces[dst] = ship_piece
+            finish = max(finish, arrival)
+        f -= min(h, f)
+        if f > 0:
+            t = machine.collective(finish)  # (h) barrier
+        else:
+            t = finish
+
+    partition = Partition(
+        pieces=[pieces[p] for p in sorted(pieces)],
+        total_weight=total,
+        n_processors=n_processors,
+        algorithm="phf",
+        num_bisections=machine.n_bisections,
+        meta={
+            "alpha": alpha,
+            "threshold": threshold,
+            "phase1_mode": phase1,
+            "phase1_extra_rounds": extra_rounds,
+            "phase2_rounds": rounds,
+            "keep": keep,
+        },
+    )
+    return SimulationResult(
+        partition=partition,
+        parallel_time=machine.makespan,
+        n_messages=machine.n_messages,
+        n_collectives=machine.n_collectives,
+        collective_time=machine.collective_time,
+        n_bisections=machine.n_bisections,
+        utilization=machine.utilization(),
+        n_control_messages=machine.n_control_messages,
+        total_hops=machine.total_hops,
+        events=machine.events,
+        phases={
+            "phase1": phase1_end,
+            "phase2": machine.makespan - phase1_end,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase-1 strategies
+# ----------------------------------------------------------------------
+
+
+def _phase1_central(
+    problem: BisectableProblem,
+    machine: Machine,
+    pieces: Dict[int, BisectableProblem],
+    threshold: float,
+    keep: str,
+    *,
+    steal_seed: int = 0,
+    mode: str = "central",
+) -> int:
+    """Phase 1 with per-bisection free-processor acquisition.
+
+    ``mode="central"``: idealized O(1) acquire (a central pool, the
+    assumption of the paper's timing analysis).  ``mode="steal"``:
+    randomized probing for a free processor (work-stealing style, [3]);
+    every probe is charged as one control round-trip.
+    """
+    sim = Simulator()
+    if mode == "steal":
+        manager = RandomStealManager(machine.n, seed=steal_seed, first_busy=1)
+    else:
+        manager = CentralManager(machine.n, first_busy=1)
+
+    def work(proc: int, q: BisectableProblem, t: float) -> None:
+        if q.weight <= threshold:
+            pieces[proc] = q
+            return
+        q1, q2 = q.bisect()
+        end_b = machine.bisect_at(proc, t)
+        try:
+            if mode == "steal":
+                dst, probes = manager.acquire()
+                end_a = end_b
+                for _ in range(probes):
+                    # probe target is immaterial for the cost model; charge
+                    # the round-trips against the prober
+                    end_a = machine.control_request(
+                        proc, dst if dst != proc else 1, end_a
+                    )
+            else:
+                end_a = machine.acquire_free(proc, end_b)
+                dst = manager.acquire()
+        except RuntimeError as exc:  # invalid alpha voids Theorem 2
+            raise SimulationError(
+                "phase 1 ran out of free processors: the declared alpha is "
+                "not a valid guarantee for this problem class"
+            ) from exc
+        arrival = machine.send(proc, dst, end_a)
+        machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+        keep_piece, ship_piece = (q1, q2) if keep == "heavy" else (q2, q1)
+        sim.schedule_at(arrival, lambda: work(dst, ship_piece, arrival))
+        sim.schedule_at(arrival, lambda: work(proc, keep_piece, arrival))
+
+    sim.schedule(0.0, lambda: work(1, problem, 0.0))
+    sim.run()
+    return 0
+
+
+def _phase1_ba_prime(
+    problem: BisectableProblem,
+    machine: Machine,
+    pieces: Dict[int, BisectableProblem],
+    threshold: float,
+    keep: str,
+) -> int:
+    """Section 3.4's realisable phase 1: BA′ then collective peel rounds."""
+    sim = Simulator()
+    manager = RangeManager(machine.n)
+
+    def handle(q: BisectableProblem, rng: Tuple[int, int], t: float) -> None:
+        i, j = rng
+        size = j - i + 1
+        if size == 1 or q.weight <= threshold:
+            pieces[i] = q
+            return
+        q1, q2 = q.bisect()
+        end_b = machine.bisect_at(i, t)
+        n1, _ = ba_split(q1.weight, q2.weight, size)
+        r1, r2, dst = manager.split(rng, n1)
+        arrival = machine.send(i, dst, end_b)
+        machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+        sim.schedule_at(arrival, lambda: handle(q2, r2, arrival))
+        sim.schedule_at(end_b, lambda: handle(q1, r1, end_b))
+
+    sim.schedule(0.0, lambda: handle(problem, manager.initial_range(), 0.0))
+    sim.run()
+
+    # Peel rounds: each round numbers the free processors (one collective)
+    # and bisects every remaining over-threshold piece in parallel.  For
+    # fixed alpha a constant number of rounds suffices (each round shrinks
+    # the maximum remaining weight by (1-alpha)).
+    extra_rounds = 0
+    t = machine.makespan
+    while True:
+        heavy = sorted(p for p, q in pieces.items() if q.weight > threshold)
+        if not heavy:
+            break
+        extra_rounds += 1
+        t = machine.collective(t)  # number the free processors
+        free = sorted(p for p in range(1, machine.n + 1) if p not in pieces)
+        if len(free) < len(heavy):
+            raise SimulationError(
+                "phase 1 peel round ran out of free processors: the "
+                "declared alpha is not a valid guarantee for this class"
+            )
+        finish = t
+        for proc, dst in zip(heavy, free):
+            q1, q2 = pieces[proc].bisect()
+            end_b = machine.bisect_at(proc, t)
+            arrival = machine.send(proc, dst, end_b)
+            machine.busy_until[dst - 1] = max(machine.busy_until[dst - 1], arrival)
+            keep_piece, ship_piece = (q1, q2) if keep == "heavy" else (q2, q1)
+            pieces[proc] = keep_piece
+            pieces[dst] = ship_piece
+            finish = max(finish, arrival)
+        t = finish
+    return extra_rounds

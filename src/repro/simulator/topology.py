@@ -1,0 +1,147 @@
+"""Interconnect topologies for the machine model.
+
+The paper assumes point-to-point sends cost one unit and notes that its
+PRAM-style collective assumption "can be simulated on many realistic
+architectures with at most logarithmic slowdown", citing hypercube
+embeddings (Heun [5], Leighton [11]).  This module makes the architecture
+explicit: a topology assigns each ordered processor pair a hop distance,
+and the machine charges ``t_send + t_hop · (hops - 1)`` per subproblem
+transmission.
+
+This matters for the algorithms' *communication locality*: BA's range
+splitting sends to ``P_{i+N1}`` -- nearby in a linear ordering but
+potentially far on a ring or mesh -- while PHF's phase-2 sends target
+arbitrary free processors.  The topology study (experiments E7) measures
+how much each algorithm's makespan degrades on sparse networks.
+
+Processor ids are 1-based, matching the rest of the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.utils.mathutils import ilog2, is_power_of_two
+
+__all__ = [
+    "Topology",
+    "CompleteTopology",
+    "HypercubeTopology",
+    "Mesh2DTopology",
+    "RingTopology",
+]
+
+
+class Topology(ABC):
+    """Hop-distance metric over processors ``1..n``."""
+
+    def __init__(self, n_processors: int) -> None:
+        if n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        self.n = n_processors
+
+    @abstractmethod
+    def distance(self, src: int, dst: int) -> int:
+        """Number of hops between two distinct processors (≥ 1)."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short label for tables."""
+
+    def _check(self, proc: int) -> None:
+        if not (1 <= proc <= self.n):
+            raise ValueError(f"processor id {proc} out of range 1..{self.n}")
+
+    def diameter(self) -> int:
+        """Maximum hop distance over all pairs (O(n^2); small n only)."""
+        if self.n == 1:
+            return 0
+        return max(
+            self.distance(a, b)
+            for a in range(1, self.n + 1)
+            for b in range(1, self.n + 1)
+            if a != b
+        )
+
+
+class CompleteTopology(Topology):
+    """Fully connected network: every send is one hop (the paper's model)."""
+
+    @property
+    def name(self) -> str:
+        return "complete"
+
+    def distance(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        return 1
+
+
+class HypercubeTopology(Topology):
+    """Boolean hypercube: distance = Hamming distance of the binary ids.
+
+    Requires a power-of-two processor count.  Diameter ``log2 N`` -- the
+    architecture the paper's references embed bisection trees into.
+    """
+
+    def __init__(self, n_processors: int) -> None:
+        super().__init__(n_processors)
+        if not is_power_of_two(n_processors):
+            raise ValueError(
+                f"hypercube needs a power-of-two processor count, got {n_processors}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "hypercube"
+
+    def distance(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return ((src - 1) ^ (dst - 1)).bit_count()
+
+
+class Mesh2DTopology(Topology):
+    """2-D mesh (no wraparound), near-square: Manhattan distance.
+
+    Diameter ``Θ(√N)`` -- the cheap-to-build architecture where PHF's
+    all-to-all collectives hurt most.
+    """
+
+    def __init__(self, n_processors: int) -> None:
+        super().__init__(n_processors)
+        self.cols = max(1, int(math.isqrt(n_processors)))
+        self.rows = -(-n_processors // self.cols)
+
+    @property
+    def name(self) -> str:
+        return "mesh2d"
+
+    def _coords(self, proc: int):
+        idx = proc - 1
+        return divmod(idx, self.cols)
+
+    def distance(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+
+class RingTopology(Topology):
+    """Bidirectional ring: min cyclic distance; diameter ``⌊N/2⌋``."""
+
+    @property
+    def name(self) -> str:
+        return "ring"
+
+    def distance(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        d = abs(src - dst)
+        return min(d, self.n - d)

@@ -1,0 +1,25 @@
+"""Internal utilities: deterministic RNG streams and small math helpers."""
+
+from repro.utils.rng import (
+    SeedSequenceFactory,
+    child_seed,
+    ensure_generator,
+    split_seed,
+)
+from repro.utils.mathutils import (
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "child_seed",
+    "ensure_generator",
+    "split_seed",
+    "ceil_div",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+]

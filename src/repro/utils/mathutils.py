@@ -1,0 +1,35 @@
+"""Small integer/float helpers shared across the library."""
+
+from __future__ import annotations
+
+__all__ = ["ceil_div", "ilog2", "is_power_of_two", "next_power_of_two"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def ilog2(n: int) -> int:
+    """``⌈log2 n⌉`` for ``n ≥ 1`` (0 for ``n == 1``).
+
+    This is the exponent used by the logarithmic-cost collective model:
+    a collective over ``n`` processors costs ``c · ilog2(n)`` time units.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``≥ n`` (``n ≥ 1``)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << ilog2(n)

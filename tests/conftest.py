@@ -1,0 +1,78 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    FixedAlpha,
+    GridDomainProblem,
+    ListProblem,
+    QuadratureProblem,
+    SyntheticProblem,
+    UniformAlpha,
+    gaussian_hotspot_density,
+    peak_integrand,
+    random_fe_tree,
+)
+
+
+@pytest.fixture
+def uniform_sampler():
+    """The paper's Figure 5 distribution."""
+    return UniformAlpha(0.1, 0.5)
+
+
+@pytest.fixture
+def wide_sampler():
+    """The paper's Table 1 distribution."""
+    return UniformAlpha(0.01, 0.5)
+
+
+@pytest.fixture
+def synthetic_problem(uniform_sampler):
+    return SyntheticProblem(1.0, uniform_sampler, seed=1234)
+
+
+@pytest.fixture
+def fixed_problem():
+    """Deterministic 0.3-bisector problem (exact weights computable)."""
+    return SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+
+
+@pytest.fixture
+def list_problem():
+    return ListProblem.uniform(512, seed=77)
+
+
+@pytest.fixture
+def fe_problem():
+    return random_fe_tree(300, seed=5, skew=0.7, cost_spread=3.0)
+
+
+@pytest.fixture
+def quadrature_problem():
+    return QuadratureProblem(
+        lower=[0.0, 0.0],
+        upper=[1.0, 1.0],
+        integrand=peak_integrand((0.3, 0.6), sharpness=30.0),
+        samples_per_axis=5,
+        min_alpha=0.05,
+    )
+
+
+@pytest.fixture
+def domain_problem():
+    density = gaussian_hotspot_density((32, 48), n_hotspots=2, peak=20.0, seed=3)
+    return GridDomainProblem(density)
+
+
+def assert_valid_partition(partition, n, total=None):
+    """Common structural checks used across algorithm tests."""
+    partition.validate()
+    assert partition.n_processors == n
+    assert 1 <= len(partition.pieces) <= n
+    assert partition.ratio >= 1.0 - 1e-12
+    if total is not None:
+        assert partition.total_weight == pytest.approx(total)

@@ -1,0 +1,124 @@
+"""Unit tests for the bisection-tree analysis and lemma audits."""
+
+import pytest
+
+from repro.core import run_ba, run_hf
+from repro.core.analysis import (
+    audit_lemma4,
+    audit_lemma6,
+    audit_phase1_depth,
+    level_profile,
+    path_contractions,
+    tree_statistics,
+)
+from repro.core.tree import BisectionNode, BisectionTree
+from repro.problems import FixedAlpha, SyntheticProblem, UniformAlpha
+
+
+@pytest.fixture
+def ba_partition():
+    p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=31)
+    return run_ba(p, 64, record_tree=True)
+
+
+@pytest.fixture
+def hf_partition():
+    p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=32)
+    return run_hf(p, 64, record_tree=True)
+
+
+class TestLevelProfile:
+    def test_root_level(self, hf_partition):
+        profile = level_profile(hf_partition.tree)
+        assert profile[0] == (1, pytest.approx(1.0))
+
+    def test_counts_sum_to_nodes(self, hf_partition):
+        profile = level_profile(hf_partition.tree)
+        total = sum(count for count, _ in profile.values())
+        assert total == 2 * 64 - 1  # N leaves + N-1 internal
+
+    def test_max_weight_decays(self, hf_partition):
+        profile = level_profile(hf_partition.tree)
+        depths = sorted(profile)
+        maxima = [profile[d][1] for d in depths]
+        assert all(a >= b - 1e-12 for a, b in zip(maxima, maxima[1:]))
+
+
+class TestPathContractions:
+    def test_one_per_leaf(self, hf_partition):
+        contractions = path_contractions(hf_partition.tree)
+        assert len(contractions) == 64
+
+    def test_sum_to_one(self, hf_partition):
+        assert sum(path_contractions(hf_partition.tree)) == pytest.approx(1.0)
+
+
+class TestLemma4Audit:
+    def test_ba_has_no_violations(self, ba_partition):
+        assert audit_lemma4(ba_partition) == []
+
+    def test_many_instances_clean(self):
+        for seed in range(10):
+            p = SyntheticProblem(1.0, UniformAlpha(0.05, 0.5), seed=seed)
+            part = run_ba(p, 48, record_tree=True)
+            assert audit_lemma4(part) == []
+
+    def test_requires_tree(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        part = run_ba(p, 8)
+        with pytest.raises(ValueError, match="tree"):
+            audit_lemma4(part)
+
+    def test_requires_ba_payloads(self, hf_partition):
+        with pytest.raises(ValueError, match="assignments"):
+            audit_lemma4(hf_partition)
+
+
+class TestLemma6Audit:
+    def test_overload_bounded_by_e(self, ba_partition):
+        import math
+
+        worst = audit_lemma6(ba_partition)
+        assert 1.0 <= worst <= math.e + 1e-9
+
+    def test_fixed_half_is_perfect(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.5), seed=0)
+        part = run_ba(p, 64, record_tree=True)
+        assert audit_lemma6(part) == pytest.approx(1.0)
+
+    def test_adversarial_instances_bounded(self):
+        import math
+
+        for seed in range(10):
+            p = SyntheticProblem(1.0, UniformAlpha(0.02, 0.5), seed=seed)
+            part = run_ba(p, 100, record_tree=True)
+            assert audit_lemma6(part) <= math.e + 1e-9
+
+
+class TestPhase1DepthAudit:
+    def test_holds_for_real_trees(self, hf_partition):
+        assert audit_phase1_depth(hf_partition.tree, 0.1)
+
+    def test_fails_for_too_strict_alpha(self, hf_partition):
+        # claiming alpha = 0.49 for a 0.1-class must fail the decay check
+        assert not audit_phase1_depth(hf_partition.tree, 0.49)
+
+    def test_trivial_tree(self):
+        tree = BisectionTree(BisectionNode(weight=1.0))
+        assert audit_phase1_depth(tree, 0.3)
+
+
+class TestTreeStatistics:
+    def test_keys_and_consistency(self, hf_partition):
+        stats = tree_statistics(hf_partition.tree)
+        assert stats["n_leaves"] == 64
+        assert stats["n_bisections"] == 63
+        assert stats["height"] >= stats["min_leaf_depth"]
+        assert stats["min_alpha"] >= 0.1 - 1e-12
+        assert stats["max_leaf_weight"] >= stats["min_leaf_weight"]
+
+    def test_single_node_tree(self):
+        tree = BisectionTree(BisectionNode(weight=2.0))
+        stats = tree_statistics(tree)
+        assert stats["n_leaves"] == 1
+        assert stats["min_alpha"] is None

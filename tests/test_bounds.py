@@ -1,0 +1,171 @@
+"""Unit tests for the theorem bounds (Theorems 2, 7, 8; Lemmas 4, 5)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    ba_bound,
+    ba_small_n_bound,
+    ba_step_bound,
+    bahf_bound,
+    bound_for,
+    hf_bound,
+    phf_bound,
+    phf_phase1_max_depth,
+    phf_phase2_max_iterations,
+    r_alpha,
+)
+
+
+class TestRAlpha:
+    def test_paper_value_at_one_third(self):
+        # Paper: "r is equal to 2 for alpha = 1/3"
+        assert r_alpha(1 / 3) == pytest.approx(2.0)
+
+    def test_two_for_alpha_above_one_third(self):
+        for a in (0.34, 0.4, 0.45, 0.5):
+            assert r_alpha(a) == 2.0
+
+    def test_continuous_at_one_third_from_below(self):
+        # (1/a)(1-a)^{floor(1/a)-2} at a -> 1/3- approaches 3*(2/3) = 2
+        assert r_alpha(1 / 3 - 1e-9) == pytest.approx(2.0, rel=1e-6)
+
+    def test_paper_value_below_ten_at_004(self):
+        # Paper: "smaller than 10 for alpha >= 0.04"
+        assert r_alpha(0.04) < 10.0
+
+    def test_below_three_for_alpha_above_021(self):
+        # our reconstruction's threshold (paper quotes 0.159; see DESIGN.md)
+        for a in (0.215, 0.25, 0.3, 0.33):
+            assert r_alpha(a) < 3.0
+
+    def test_grows_as_alpha_shrinks(self):
+        assert r_alpha(0.01) > r_alpha(0.05) > r_alpha(0.2)
+
+    def test_closed_form_below_one_third(self):
+        a = 0.1
+        expected = (1 / a) * (1 - a) ** (math.floor(1 / a) - 2)
+        assert r_alpha(a) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("alpha", [0.0, -1.0, 0.6])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            r_alpha(alpha)
+
+
+class TestHFBound:
+    def test_clamped_by_trivial_bound(self):
+        # with one processor the ratio is exactly 1
+        assert hf_bound(0.01, 1) == 1.0
+
+    def test_equals_r_alpha_for_large_n(self):
+        assert hf_bound(0.1, 1024) == pytest.approx(r_alpha(0.1))
+
+    def test_phf_bound_equals_hf_bound(self):
+        for n in (1, 4, 100):
+            assert phf_bound(0.1, n) == hf_bound(0.1, n)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            hf_bound(0.1, 0)
+        with pytest.raises(TypeError):
+            hf_bound(0.1, 2.5)
+
+
+class TestBABound:
+    def test_small_n_uses_lemma5(self):
+        # n <= 1/alpha branch
+        a, n = 0.1, 6
+        assert ba_bound(a, n) == pytest.approx(
+            min(n, ba_small_n_bound(a, n))
+        )
+
+    def test_lemma5_formula(self):
+        a, n = 0.2, 4
+        assert ba_small_n_bound(a, n) == pytest.approx(n * (1 - a) ** (n // 2))
+
+    def test_large_n_formula(self):
+        a, n = 0.1, 1000
+        expected = math.e * (1 / a) * (1 - a) ** (math.ceil(1 / (2 * a)) - 1)
+        assert ba_bound(a, n) == pytest.approx(expected)
+
+    def test_never_exceeds_n(self):
+        for n in (1, 2, 3, 10, 50):
+            assert ba_bound(0.01, n) <= n
+
+    def test_ba_weaker_than_hf_for_large_n(self):
+        # Theorem 7's bound is weaker than Theorem 2's (paper, Section 3.2)
+        for a in (0.05, 0.1, 0.2, 0.3):
+            assert ba_bound(a, 10**6) >= hf_bound(a, 10**6)
+
+    def test_n_one_is_exact(self):
+        assert ba_bound(0.3, 1) == 1.0
+
+
+class TestBAHFBound:
+    def test_large_lambda_approaches_hf(self):
+        a, n = 0.1, 10**6
+        assert bahf_bound(a, n, lam=1e9) == pytest.approx(hf_bound(a, n), rel=1e-6)
+
+    def test_epsilon_recipe(self):
+        # Paper: lambda >= 1/ln(1+eps) => guarantee <= (1+eps) * r_alpha
+        a, n = 0.1, 10**6
+        for eps in (0.1, 0.5, 1.0):
+            lam = 1.0 / math.log(1.0 + eps)
+            assert bahf_bound(a, n, lam) <= (1 + eps) * r_alpha(a) + 1e-12
+
+    def test_monotone_decreasing_in_lambda(self):
+        a, n = 0.05, 10**6
+        values = [bahf_bound(a, n, lam) for lam in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_between_hf_and_exp_factor(self):
+        a, n, lam = 0.1, 10**6, 1.0
+        assert hf_bound(a, n) <= bahf_bound(a, n, lam) <= math.e * hf_bound(a, n)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            bahf_bound(0.1, 4, lam=0.0)
+
+
+class TestStepAndPhaseBounds:
+    def test_lemma4_value(self):
+        assert ba_step_bound(1.0, 5) == pytest.approx(0.25)
+
+    def test_lemma4_needs_two_processors(self):
+        with pytest.raises(ValueError):
+            ba_step_bound(1.0, 1)
+
+    def test_phase2_iterations_positive_and_monotone(self):
+        assert phf_phase2_max_iterations(0.5) >= 1
+        assert phf_phase2_max_iterations(0.01) > phf_phase2_max_iterations(0.1)
+
+    def test_phase2_closed_form(self):
+        a = 0.1
+        assert phf_phase2_max_iterations(a) == math.ceil((1 / a) * math.log(1 / a))
+
+    def test_phase1_depth(self):
+        a, n = 0.1, 1024
+        expected = math.ceil(math.log(n) / math.log(1 / (1 - a)))
+        assert phf_phase1_max_depth(a, n) == expected
+
+    def test_phase1_depth_single_processor(self):
+        assert phf_phase1_max_depth(0.2, 1) == 0
+
+
+class TestBoundFor:
+    @pytest.mark.parametrize(
+        "name", ["hf", "HF", "ba", "ba-hf", "BA_HF", "bahf", "phf"]
+    )
+    def test_dispatch_accepts_spellings(self, name):
+        assert bound_for(name, 0.1, 64) > 1.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            bound_for("greedy", 0.1, 64)
+
+    def test_matches_direct_calls(self):
+        assert bound_for("hf", 0.1, 64) == hf_bound(0.1, 64)
+        assert bound_for("ba", 0.1, 64) == ba_bound(0.1, 64)
+        assert bound_for("bahf", 0.1, 64, 2.0) == bahf_bound(0.1, 64, 2.0)

@@ -1,0 +1,97 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sorting"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.trials is None
+        assert args.jobs == 1
+        assert not args.full
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            ["figure5", "--trials", "5", "--max-n", "64", "--jobs", "2", "--full"]
+        )
+        assert args.trials == 5 and args.max_n == 64 and args.jobs == 2
+        assert args.full
+
+
+class TestMain:
+    def test_table1_smoke(self, capsys):
+        assert main(["table1", "--trials", "5", "--max-n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "avg" in out
+
+    def test_figure5_smoke(self, capsys):
+        assert main(["figure5", "--trials", "5", "--max-n", "64"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_lambda_smoke(self, capsys):
+        assert main(["lambda", "--trials", "5", "--max-n", "64"]) == 0
+        assert "lam=2" in capsys.readouterr().out
+
+    def test_runtime_smoke(self, capsys):
+        assert main(["runtime", "--max-n", "32"]) == 0
+        assert "Runtime study" in capsys.readouterr().out
+
+    def test_nonpow2_smoke(self, capsys):
+        assert main(["nonpow2", "--trials", "5"]) == 0
+        assert "difference" in capsys.readouterr().out
+
+    def test_csv_written(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert (
+            main(
+                ["table1", "--trials", "5", "--max-n", "64", "--csv", str(target)]
+            )
+            == 0
+        )
+        content = target.read_text()
+        assert content.startswith("algorithm,")
+
+    def test_bad_max_n_exits(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--trials", "5", "--max-n", "2"])
+
+    def test_topology_smoke(self, capsys):
+        assert main(["topology", "--max-n", "64"]) == 0
+        assert "Topology study" in capsys.readouterr().out
+
+    def test_worstcase_smoke(self, capsys):
+        assert main(["worstcase"]) == 0
+        assert "tightness" in capsys.readouterr().out
+
+    def test_distributions_smoke(self, capsys):
+        assert main(["distributions", "--trials", "5", "--max-n", "32"]) == 0
+        assert "uniform" in capsys.readouterr().out
+
+    def test_families_smoke(self, capsys):
+        assert main(["families", "--trials", "40"]) == 0
+        assert "fe_tree" in capsys.readouterr().out
+
+    def test_variance_smoke(self, capsys):
+        assert main(["variance", "--trials", "5", "--max-n", "64"]) == 0
+        assert "CV" in capsys.readouterr().out
+
+    def test_intervals_smoke(self, capsys):
+        assert main(["intervals", "--trials", "5", "--max-n", "64"]) == 0
+        assert "spread" in capsys.readouterr().out
+
+    def test_env_full_scale(self, monkeypatch, capsys):
+        # REPRO_FULL picks the paper grid; cap it via --max-n to stay fast
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert main(["table1", "--trials", "2", "--max-n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "2 trials" in out

@@ -1,0 +1,149 @@
+"""Unit tests for 2-D grid-domain problems (recursive coordinate bisection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_ba, run_hf
+from repro.problems import (
+    GridDomainProblem,
+    gaussian_hotspot_density,
+    uniform_density,
+)
+
+
+class TestConstruction:
+    def test_weight_is_density_sum(self):
+        density = np.arange(1, 13, dtype=float).reshape(3, 4)
+        p = GridDomainProblem(density)
+        assert p.weight == pytest.approx(density.sum())
+
+    def test_region_defaults_to_full_grid(self):
+        p = GridDomainProblem(uniform_density((4, 6)))
+        assert p.region == (0, 4, 0, 6)
+        assert p.n_cells == 24
+        assert p.shape == (4, 6)
+
+    def test_subregion_weight(self):
+        density = np.arange(1, 13, dtype=float).reshape(3, 4)
+        p = GridDomainProblem(density, region=(1, 3, 0, 2))
+        assert p.weight == pytest.approx(density[1:3, 0:2].sum())
+
+    def test_rejects_empty_density(self):
+        with pytest.raises(ValueError):
+            GridDomainProblem(np.ones((0, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            GridDomainProblem(np.ones(5))
+
+    def test_rejects_nonpositive_cells(self):
+        with pytest.raises(ValueError):
+            GridDomainProblem(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize(
+        "region", [(0, 0, 0, 2), (0, 3, 0, 5), (-1, 2, 0, 2), (2, 1, 0, 2)]
+    )
+    def test_rejects_bad_region(self, region):
+        with pytest.raises(ValueError):
+            GridDomainProblem(np.ones((3, 4)), region=region)
+
+
+class TestPrefixSums:
+    def test_rect_sums_match_direct(self):
+        rng = np.random.default_rng(0)
+        density = rng.uniform(0.5, 2.0, size=(10, 13))
+        p = GridDomainProblem(density)
+        for _ in range(50):
+            r0, r1 = sorted(rng.integers(0, 11, size=2))
+            c0, c1 = sorted(rng.integers(0, 14, size=2))
+            if r0 == r1 or c0 == c1:
+                continue
+            sub = GridDomainProblem(density, region=(r0, r1, c0, c1))
+            assert sub.weight == pytest.approx(density[r0:r1, c0:c1].sum())
+
+
+class TestBisection:
+    def test_exact_conservation(self):
+        p = GridDomainProblem(gaussian_hotspot_density((16, 16), seed=1))
+        a, b = p.bisect()
+        assert a.weight + b.weight == pytest.approx(p.weight)
+        assert a.n_cells + b.n_cells == p.n_cells
+
+    def test_splits_longer_axis(self):
+        p = GridDomainProblem(uniform_density((4, 10)))
+        a, b = p.bisect()
+        # columns axis (longer) is split: rows stay 4
+        assert a.shape[0] == 4 and b.shape[0] == 4
+
+    def test_uniform_density_splits_evenly(self):
+        p = GridDomainProblem(uniform_density((8, 8)))
+        a, b = p.bisect()
+        assert a.weight == pytest.approx(b.weight)
+
+    def test_single_row_splits_columns(self):
+        p = GridDomainProblem(uniform_density((1, 6)))
+        a, b = p.bisect()
+        assert a.n_cells + b.n_cells == 6
+
+    def test_single_column_splits_rows(self):
+        p = GridDomainProblem(uniform_density((6, 1)))
+        a, b = p.bisect()
+        assert a.n_cells + b.n_cells == 6
+
+    def test_single_cell_atomic(self):
+        p = GridDomainProblem(uniform_density((1, 1)))
+        assert not p.can_bisect
+        with pytest.raises(ValueError, match="single-cell"):
+            p.bisect()
+
+    def test_children_share_prefix_table(self):
+        p = GridDomainProblem(uniform_density((8, 8)))
+        a, b = p.bisect()
+        assert a._prefix is p._prefix
+        assert b._prefix is p._prefix
+
+    def test_hotspot_split_balances_work_not_area(self):
+        density = uniform_density((4, 32))
+        density[:, :4] = 100.0  # heavy stripe on the left
+        p = GridDomainProblem(density)
+        a, b = p.bisect()
+        # balanced in work => very unbalanced in area
+        assert abs(a.weight - b.weight) / p.weight < 0.3
+        assert max(a.n_cells, b.n_cells) > 3 * min(a.n_cells, b.n_cells)
+
+
+class TestDensities:
+    def test_uniform_density(self):
+        d = uniform_density((3, 5))
+        assert d.shape == (3, 5)
+        assert (d == 1.0).all()
+
+    def test_hotspot_density_positive_and_peaked(self):
+        d = gaussian_hotspot_density((20, 20), n_hotspots=2, peak=30.0, seed=2)
+        assert (d >= 1.0).all()
+        assert d.max() > 10.0
+
+    def test_hotspot_reproducible(self):
+        a = gaussian_hotspot_density((10, 10), seed=3)
+        b = gaussian_hotspot_density((10, 10), seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestEndToEnd:
+    def test_regions_tile_grid_exactly(self):
+        p = GridDomainProblem(gaussian_hotspot_density((24, 24), seed=4))
+        part = run_ba(p, 9)
+        covered = np.zeros((24, 24), dtype=int)
+        for piece in part.pieces:
+            r0, r1, c0, c1 = piece.region
+            covered[r0:r1, c0:c1] += 1
+        assert (covered == 1).all()
+
+    def test_hf_beats_naive_on_hotspots(self):
+        density = gaussian_hotspot_density((32, 32), n_hotspots=1, peak=60.0, seed=5)
+        p = GridDomainProblem(density)
+        part = run_hf(p, 8)
+        # naive equal-area strips
+        strips = [density[:, 4 * k : 4 * (k + 1)].sum() for k in range(8)]
+        naive_ratio = max(strips) / (density.sum() / 8)
+        assert part.ratio < naive_ratio

@@ -1,0 +1,74 @@
+"""Tests for the concrete-problem-families study (E10)."""
+
+import pytest
+
+from repro.experiments.families_study import (
+    FAMILY_GENERATORS,
+    render_families_study,
+    run_families_study,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_families_study(
+        families=("synthetic", "fe_tree", "list", "task_dag"),
+        n_instances=6,
+        n_processors=12,
+        seed=61,
+    )
+
+
+class TestFamiliesStudy:
+    def test_record_per_family_algorithm_pair(self, result):
+        assert len(result.records) == 4 * 3
+        assert set(result.families()) == {
+            "synthetic",
+            "fe_tree",
+            "list",
+            "task_dag",
+        }
+
+    def test_ratios_sane(self, result):
+        for rec in result.records:
+            assert 1.0 <= rec.mean_ratio <= rec.max_ratio <= 12.0
+
+    def test_ordering_per_family(self, result):
+        # HF <= BA (+noise); BA-HF between (ties where it degenerates)
+        for family in result.families():
+            hf = result.get(family, "hf").mean_ratio
+            ba = result.get(family, "ba").mean_ratio
+            bahf = result.get(family, "bahf").mean_ratio
+            assert hf <= ba + 1e-9, family
+            assert hf <= bahf + 0.05, family
+            assert bahf <= ba + 0.05, family
+
+    def test_probed_alpha_recorded(self, result):
+        for rec in result.records:
+            assert 0.0 < rec.probed_alpha <= 0.5
+
+    def test_fe_tree_balances_best(self, result):
+        # best-edge splits give excellent bisectors -> lowest ratios
+        assert (
+            result.get("fe_tree", "hf").mean_ratio
+            < result.get("list", "hf").mean_ratio
+        )
+
+    def test_get_unknown_raises(self, result):
+        with pytest.raises(KeyError):
+            result.get("chess", "hf")
+
+    def test_render(self, result):
+        out = render_families_study(result)
+        assert "fe_tree" in out and "alpha~" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_families_study(families=("chess",), n_instances=1)
+        with pytest.raises(ValueError):
+            run_families_study(n_instances=0)
+
+    def test_all_generators_produce_problems(self):
+        for name, gen in FAMILY_GENERATORS.items():
+            p = gen(123)
+            assert p.weight > 0, name

@@ -1,0 +1,171 @@
+"""Tests for the FEM substrate (Poisson + recursive substructuring)."""
+
+import numpy as np
+import pytest
+
+from repro.core import probe_bisector_quality, run_ba, run_hf
+from repro.fem import (
+    ParallelSolveEstimate,
+    PoissonProblem,
+    critical_path_cost,
+    dissection_fe_tree,
+    dissection_tree,
+    estimate_parallel_solve,
+    manufactured_solution,
+)
+from repro.problems import gaussian_hotspot_density
+from repro.problems.fe_tree import FENode
+
+
+class TestPoisson:
+    def test_manufactured_solution_converges(self):
+        u_exact, f = manufactured_solution()
+        errors = []
+        for n in (10, 20, 40):
+            p = PoissonProblem(n, n, f)
+            u = p.solve()
+            xg, yg = p.grid()
+            errors.append(float(np.abs(u - u_exact(xg, yg)).max()))
+        # second-order scheme: error drops ~4x per mesh halving
+        assert errors[1] < errors[0] / 3.0
+        assert errors[2] < errors[1] / 3.0
+
+    def test_residual_of_solution_is_tiny(self):
+        _, f = manufactured_solution()
+        p = PoissonProblem(15, 23, f)
+        assert p.residual_norm(p.solve().ravel()) < 1e-10
+
+    def test_residual_of_garbage_is_large(self):
+        _, f = manufactured_solution()
+        p = PoissonProblem(10, 10, f)
+        assert p.residual_norm(np.ones(p.n_unknowns)) > 0.1
+
+    def test_operator_shape_and_symmetry(self):
+        _, f = manufactured_solution()
+        p = PoissonProblem(7, 5, f)
+        A = p.operator()
+        assert A.shape == (35, 35)
+        assert abs(A - A.T).max() == pytest.approx(0.0)
+
+    def test_solution_positive_inside(self):
+        # -Δu = positive source, zero boundary => u > 0 (max principle)
+        _, f = manufactured_solution()
+        u = PoissonProblem(12, 12, f).solve()
+        assert (u > 0).all()
+
+    def test_validation(self):
+        _, f = manufactured_solution()
+        with pytest.raises(ValueError):
+            PoissonProblem(0, 5, f)
+
+
+class TestDissectionTree:
+    def test_costs_positive_and_finite(self):
+        root = dissection_tree(32, 32)
+        tree = dissection_fe_tree(32, 32)
+        assert tree.weight > 0
+        assert np.isfinite(tree.weight)
+
+    def test_uniform_grid_gives_balanced_splits(self):
+        tree = dissection_fe_tree(32, 32)
+        report = probe_bisector_quality(tree, max_nodes=64)
+        assert report.min_alpha > 0.05
+
+    def test_density_skews_tree(self):
+        density = gaussian_hotspot_density((48, 48), n_hotspots=1, peak=80.0, seed=1)
+        skewed = dissection_tree(48, 48, density=density)
+        balanced = dissection_tree(48, 48)
+
+        def depth(node):
+            best, stack = 1, [(node, 1)]
+            while stack:
+                cur, d = stack.pop()
+                best = max(best, d)
+                stack.extend((c, d + 1) for c in cur.children)
+            return best
+
+        # adaptive trees go deeper where the work concentrates
+        assert depth(skewed) >= depth(balanced)
+
+    def test_panelisation_conserves_cost(self):
+        coarse = dissection_tree(32, 32, panel_size=1000)  # ~no panelling
+        fine = dissection_tree(32, 32, panel_size=4)
+        assert coarse.total_cost() == pytest.approx(fine.total_cost())
+        assert fine.size() > coarse.size()
+
+    def test_small_grid_is_single_leaf(self):
+        root = dissection_tree(4, 4, leaf_cells=64)
+        assert root.children == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dissection_tree(0, 4)
+        with pytest.raises(ValueError):
+            dissection_tree(8, 8, leaf_cells=0)
+        with pytest.raises(ValueError):
+            dissection_tree(8, 8, panel_size=0)
+        with pytest.raises(ValueError):
+            dissection_tree(8, 8, density=np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            dissection_tree(8, 8, density=np.zeros((8, 8)))
+
+
+class TestCriticalPath:
+    def test_chain_is_sum(self):
+        chain = FENode(1.0, left=FENode(2.0, left=FENode(3.0)))
+        assert critical_path_cost(chain) == pytest.approx(6.0)
+
+    def test_balanced_tree_takes_max_branch(self):
+        root = FENode(1.0, left=FENode(10.0), right=FENode(2.0))
+        assert critical_path_cost(root) == pytest.approx(11.0)
+
+    def test_path_at_most_total(self):
+        tree = dissection_fe_tree(40, 40)
+        assert critical_path_cost(tree.root) <= tree.weight + 1e-9
+
+
+class TestParallelSolveEstimate:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        density = gaussian_hotspot_density((48, 48), n_hotspots=1, peak=20.0, seed=3)
+        tree = dissection_fe_tree(48, 48, density=density)
+        partition = run_hf(dissection_fe_tree(48, 48, density=density), 8)
+        return tree, partition
+
+    def test_speedup_bounds(self, setup):
+        tree, partition = setup
+        est = estimate_parallel_solve(tree, partition)
+        assert 1.0 <= est.speedup <= 8.0
+        assert 0.0 < est.efficiency <= 1.0
+
+    def test_makespan_respects_both_bounds(self, setup):
+        tree, partition = setup
+        est = estimate_parallel_solve(tree, partition)
+        assert est.parallel_flops >= est.max_processor_flops
+        assert est.parallel_flops >= est.critical_path_flops
+
+    def test_serial_equals_tree_weight(self, setup):
+        tree, partition = setup
+        est = estimate_parallel_solve(tree, partition)
+        assert est.serial_flops == pytest.approx(tree.weight)
+
+    def test_better_balance_no_worse_speedup(self):
+        density = gaussian_hotspot_density((48, 48), n_hotspots=2, peak=20.0, seed=4)
+        mk = lambda: dissection_fe_tree(48, 48, density=density)
+        hf = estimate_parallel_solve(mk(), run_hf(mk(), 6))
+        ba = estimate_parallel_solve(mk(), run_ba(mk(), 6))
+        assert hf.max_processor_flops <= ba.max_processor_flops + 1e-9
+
+
+class TestEndToEnd:
+    def test_full_pipeline(self):
+        """PDE -> dissection FE-tree -> balance -> estimate, all coherent."""
+        _, f = manufactured_solution()
+        poisson = PoissonProblem(32, 32, f)
+        assert poisson.residual_norm(poisson.solve().ravel()) < 1e-10
+
+        tree = dissection_fe_tree(32, 32, leaf_cells=32)
+        part = run_hf(dissection_fe_tree(32, 32, leaf_cells=32), 8)
+        part.validate()
+        est = estimate_parallel_solve(tree, part)
+        assert est.speedup > 1.0

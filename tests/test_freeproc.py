@@ -1,0 +1,100 @@
+"""Unit tests for the free-processor managers (Section 3.4)."""
+
+import pytest
+
+from repro.simulator import CentralManager, NumberedFreePool, RangeManager
+
+
+class TestRangeManager:
+    def test_initial_range(self):
+        assert RangeManager(8).initial_range() == (1, 8)
+
+    def test_split_semantics(self):
+        rm = RangeManager(10)
+        r1, r2, dst = rm.split((1, 10), 4)
+        assert r1 == (1, 4)
+        assert r2 == (5, 10)
+        assert dst == 5
+
+    def test_split_subrange(self):
+        rm = RangeManager(10)
+        r1, r2, dst = rm.split((5, 10), 2)
+        assert r1 == (5, 6)
+        assert r2 == (7, 10)
+        assert dst == 7
+
+    def test_split_preserves_size(self):
+        rm = RangeManager(100)
+        r1, r2, _ = rm.split((3, 77), 30)
+        assert (r1[1] - r1[0] + 1) + (r2[1] - r2[0] + 1) == 75
+
+    @pytest.mark.parametrize("n1", [0, 6, 7])
+    def test_invalid_split_rejected(self, n1):
+        rm = RangeManager(10)
+        with pytest.raises(ValueError):
+            rm.split((1, 6), n1)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            RangeManager(0)
+
+
+class TestCentralManager:
+    def test_hands_out_ascending_ids(self):
+        cm = CentralManager(5)
+        assert [cm.acquire() for _ in range(4)] == [2, 3, 4, 5]
+
+    def test_first_busy_excluded(self):
+        cm = CentralManager(4, first_busy=3)
+        assert [cm.acquire() for _ in range(3)] == [1, 2, 4]
+
+    def test_free_count_decreases(self):
+        cm = CentralManager(4)
+        assert cm.free_count == 3
+        cm.acquire()
+        assert cm.free_count == 2
+
+    def test_exhaustion_raises(self):
+        cm = CentralManager(2)
+        cm.acquire()
+        with pytest.raises(RuntimeError):
+            cm.acquire()
+
+    def test_free_ids_reflect_consumption(self):
+        cm = CentralManager(5)
+        cm.acquire()
+        assert cm.free_ids() == [3, 4, 5]
+
+
+class TestNumberedFreePool:
+    def test_resolve_is_one_based(self):
+        pool = NumberedFreePool([7, 3, 9])
+        assert pool.resolve(1) == 3
+        assert pool.resolve(2) == 7
+        assert pool.resolve(3) == 9
+
+    def test_consume_advances_numbering(self):
+        pool = NumberedFreePool([3, 7, 9, 11])
+        assert pool.consume(2) == [3, 7]
+        assert pool.remaining == 2
+        assert pool.resolve(1) == 9
+
+    def test_consume_all(self):
+        pool = NumberedFreePool([1, 2])
+        pool.consume(2)
+        assert pool.remaining == 0
+
+    def test_over_consume_rejected(self):
+        pool = NumberedFreePool([1, 2])
+        with pytest.raises(ValueError):
+            pool.consume(3)
+
+    def test_resolve_out_of_range_rejected(self):
+        pool = NumberedFreePool([5])
+        with pytest.raises(ValueError):
+            pool.resolve(2)
+
+    def test_empty_pool(self):
+        pool = NumberedFreePool([])
+        assert pool.remaining == 0
+        assert pool.consume(0) == []

@@ -1,0 +1,94 @@
+"""Unit tests for event recording and Gantt rendering."""
+
+import pytest
+
+from repro.problems import SyntheticProblem, UniformAlpha
+from repro.simulator import MachineConfig, simulate_ba, simulate_phf
+from repro.simulator.gantt import gantt_rows, render_gantt
+from repro.simulator.machine import MachineEvent
+
+
+def events_fixture():
+    return [
+        MachineEvent(kind="bisect", start=0.0, end=1.0, proc=1),
+        MachineEvent(kind="send", start=1.0, end=2.0, proc=1, peer=2),
+        MachineEvent(kind="bisect", start=2.0, end=3.0, proc=2),
+        MachineEvent(kind="collective", start=3.0, end=4.0),
+    ]
+
+
+class TestGanttRows:
+    def test_row_per_processor(self):
+        rows = gantt_rows(events_fixture(), 3, width=40)
+        assert len(rows) == 3
+        assert all(len(r) == 40 for r in rows)
+
+    def test_marks_present(self):
+        rows = gantt_rows(events_fixture(), 3, width=40)
+        assert "B" in rows[0] and "s" in rows[0]
+        assert "B" in rows[1]
+
+    def test_collective_paints_all_rows(self):
+        rows = gantt_rows(events_fixture(), 3, width=40)
+        assert all("=" in r for r in rows)
+
+    def test_idle_processor_all_dots(self):
+        rows = gantt_rows(events_fixture(), 3, width=40)
+        assert set(rows[2]) <= {".", "="}
+
+    def test_empty_events(self):
+        rows = gantt_rows([], 2, width=10)
+        assert rows == ["." * 10, "." * 10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gantt_rows([], 0)
+        with pytest.raises(ValueError):
+            gantt_rows([], 2, width=0)
+
+
+class TestRenderGantt:
+    def test_contains_axis_and_legend(self):
+        out = render_gantt(events_fixture(), 3, width=40, title="demo")
+        assert out.splitlines()[0] == "demo"
+        assert "B=bisect" in out
+        assert "P1" in out and "P3" in out
+
+    def test_max_rows_truncates(self):
+        out = render_gantt(events_fixture(), 10, width=20, max_rows=2)
+        assert "more processors" in out
+
+
+class TestEndToEndRecording:
+    def test_no_events_by_default(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=1)
+        res = simulate_ba(p, 8)
+        assert res.events == []
+
+    def test_ba_events_recorded(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=1)
+        res = simulate_ba(p, 8, config=MachineConfig(record_events=True))
+        kinds = {e.kind for e in res.events}
+        assert kinds == {"bisect", "send"}
+        assert sum(1 for e in res.events if e.kind == "bisect") == 7
+        assert sum(1 for e in res.events if e.kind == "send") == 7
+
+    def test_phf_events_include_collectives(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=2)
+        res = simulate_phf(p, 16, config=MachineConfig(record_events=True))
+        kinds = {e.kind for e in res.events}
+        assert "collective" in kinds
+        assert "bisect" in kinds
+
+    def test_events_render(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=3)
+        res = simulate_ba(p, 8, config=MachineConfig(record_events=True))
+        out = render_gantt(res.events, 8, width=50)
+        assert "P1" in out
+
+    def test_event_times_consistent(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=4)
+        res = simulate_ba(p, 16, config=MachineConfig(record_events=True))
+        for e in res.events:
+            assert e.end >= e.start >= 0.0
+        assert max(e.end for e in res.events) == pytest.approx(res.parallel_time)

@@ -1,0 +1,143 @@
+"""Unit tests for Algorithm HF (Figure 1, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import hf_bound, hf_final_weights, hf_trace, run_hf
+from repro.problems import FixedAlpha, SyntheticProblem, UniformAlpha
+
+from conftest import assert_valid_partition
+
+
+class TestRunHF:
+    def test_single_processor_no_bisection(self, synthetic_problem):
+        part = run_hf(synthetic_problem, 1)
+        assert len(part.pieces) == 1
+        assert part.num_bisections == 0
+        assert part.pieces[0] is synthetic_problem
+        assert part.ratio == pytest.approx(1.0)
+
+    def test_uses_exactly_n_minus_one_bisections(self, synthetic_problem):
+        # Theorem 2: HF uses N-1 bisections
+        for n in (2, 5, 17, 64):
+            part = run_hf(SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=n), n)
+            assert part.num_bisections == n - 1
+            assert len(part.pieces) == n
+
+    def test_exact_weights_fixed_alpha(self):
+        # alpha-hat = 0.3 fixed, N = 3: pieces {0.7*0.3, 0.7*0.7, 0.3}
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        part = run_hf(p, 3)
+        assert sorted(part.weights) == pytest.approx([0.21, 0.3, 0.49])
+
+    def test_exact_weights_fixed_alpha_n4(self):
+        # continue: heaviest 0.49 -> 0.343, 0.147
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        part = run_hf(p, 4)
+        assert sorted(part.weights) == pytest.approx([0.147, 0.21, 0.3, 0.343])
+
+    def test_perfect_balance_with_half_splits(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.5), seed=0)
+        part = run_hf(p, 64)
+        assert part.ratio == pytest.approx(1.0)
+        assert np.allclose(part.weights, 1 / 64)
+
+    def test_ratio_within_theorem2_bound(self, wide_sampler):
+        for seed in range(5):
+            p = SyntheticProblem(1.0, wide_sampler, seed=seed)
+            part = run_hf(p, 128)
+            assert part.ratio <= hf_bound(wide_sampler.alpha, 128) + 1e-9
+
+    def test_bisected_weights_non_increasing(self, synthetic_problem):
+        # HF always bisects the current heaviest, so the sequence of
+        # bisected weights is non-increasing.
+        trace = hf_trace(synthetic_problem, 64)
+        assert all(a >= b - 1e-12 for a, b in zip(trace, trace[1:]))
+        assert len(trace) == 63
+
+    def test_tree_recording(self, synthetic_problem):
+        part = run_hf(synthetic_problem, 32, record_tree=True)
+        part.validate()
+        assert part.tree.num_leaves == 32
+        assert sorted(part.tree.leaf_weights()) == pytest.approx(
+            sorted(part.weights)
+        )
+
+    def test_no_tree_by_default(self, synthetic_problem):
+        assert run_hf(synthetic_problem, 8).tree is None
+
+    def test_deterministic_across_runs(self, uniform_sampler):
+        p1 = SyntheticProblem(1.0, uniform_sampler, seed=7)
+        p2 = SyntheticProblem(1.0, uniform_sampler, seed=7)
+        w1 = run_hf(p1, 40).weights
+        w2 = run_hf(p2, 40).weights
+        assert w1 == pytest.approx(w2)
+
+    def test_partition_is_valid(self, synthetic_problem):
+        assert_valid_partition(run_hf(synthetic_problem, 20), 20, total=1.0)
+
+    def test_rejects_zero_processors(self, synthetic_problem):
+        with pytest.raises(ValueError):
+            run_hf(synthetic_problem, 0)
+
+
+class TestHFFinalWeights:
+    def test_matches_object_api_for_fixed_alpha(self):
+        n = 37
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        obj = sorted(run_hf(p, n).weights)
+        fast = sorted(hf_final_weights(1.0, n, np.full(n - 1, 0.3)))
+        assert fast == pytest.approx(obj)
+
+    def test_weights_sum_to_initial(self):
+        rng = np.random.default_rng(0)
+        draws = rng.uniform(0.05, 0.5, size=99)
+        w = hf_final_weights(2.5, 100, draws)
+        assert w.sum() == pytest.approx(2.5)
+        assert len(w) == 100
+        assert (w > 0).all()
+
+    def test_single_processor(self):
+        w = hf_final_weights(3.0, 1, [])
+        assert list(w) == [3.0]
+
+    def test_insufficient_draws_rejected(self):
+        with pytest.raises(ValueError, match="alpha draws"):
+            hf_final_weights(1.0, 10, np.full(5, 0.3))
+
+    def test_extra_draws_ignored(self):
+        a = hf_final_weights(1.0, 4, np.full(3, 0.3))
+        b = hf_final_weights(1.0, 4, np.full(100, 0.3))
+        assert sorted(a) == pytest.approx(sorted(b))
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            hf_final_weights(0.0, 2, [0.3])
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            hf_final_weights(1.0, 0, [])
+
+
+class TestHFOnOtherProblems:
+    def test_list_problem(self, list_problem):
+        part = run_hf(list_problem, 16)
+        assert_valid_partition(part, 16, total=list_problem.weight)
+        # element counts partition the original list
+        assert sum(p.n_elements for p in part.pieces) == list_problem.n_elements
+
+    def test_fe_tree_problem(self, fe_problem):
+        part = run_hf(fe_problem, 8)
+        assert_valid_partition(part, 8, total=fe_problem.weight)
+        assert sum(p.n_nodes for p in part.pieces) == fe_problem.n_nodes
+
+    def test_quadrature_problem(self, quadrature_problem):
+        part = run_hf(quadrature_problem, 10)
+        assert_valid_partition(part, 10, total=quadrature_problem.weight)
+        # volumes partition the unit square
+        assert sum(p.volume for p in part.pieces) == pytest.approx(1.0)
+
+    def test_domain_problem(self, domain_problem):
+        part = run_hf(domain_problem, 12)
+        assert_valid_partition(part, 12, total=domain_problem.weight)
+        assert sum(p.n_cells for p in part.pieces) == domain_problem.n_cells

@@ -1,0 +1,164 @@
+"""Integration tests: every algorithm × every problem family × simulator.
+
+These are the cross-module guarantees a downstream user relies on:
+running any algorithm on any problem family yields a valid partition
+within the theorem bound for the family's (probed) α, the simulator
+reproduces the logical algorithms exactly, and the example scripts run.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import (
+    assert_partition_within_bound,
+    probe_bisector_quality,
+    run_ba,
+    run_bahf,
+    run_hf,
+    run_phf,
+)
+from repro.problems import (
+    GridDomainProblem,
+    ListProblem,
+    QuadratureProblem,
+    SyntheticProblem,
+    UniformAlpha,
+    gaussian_hotspot_density,
+    peak_integrand,
+    random_fe_tree,
+)
+from repro.simulator import simulate_ba, simulate_bahf, simulate_hf, simulate_phf
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def make_problems():
+    return {
+        "synthetic": SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=1),
+        "list": ListProblem.uniform(1024, seed=2),
+        "fe_tree": random_fe_tree(400, seed=3, skew=0.7),
+        "quadrature": QuadratureProblem(
+            [0.0, 0.0],
+            [1.0, 1.0],
+            peak_integrand((0.4, 0.4), sharpness=25.0),
+            samples_per_axis=5,
+            min_alpha=0.05,
+        ),
+        "domain": GridDomainProblem(
+            gaussian_hotspot_density((24, 32), n_hotspots=2, seed=4)
+        ),
+    }
+
+
+@pytest.mark.parametrize("family", ["synthetic", "list", "fe_tree", "quadrature", "domain"])
+class TestAllAlgorithmsOnAllFamilies:
+    N = 12
+
+    def probed_alpha(self, problem):
+        report = probe_bisector_quality(problem, max_nodes=256)
+        return max(1e-4, report.min_alpha * 0.999)
+
+    def test_hf(self, family):
+        problem = make_problems()[family]
+        part = run_hf(problem, self.N)
+        part.validate()
+        assert_partition_within_bound(part, self.probed_alpha(problem))
+
+    def test_ba(self, family):
+        problem = make_problems()[family]
+        part = run_ba(problem, self.N)
+        part.validate()
+        assert_partition_within_bound(part, self.probed_alpha(problem))
+
+    def test_bahf(self, family):
+        problem = make_problems()[family]
+        alpha = self.probed_alpha(problem)
+        part = run_bahf(problem, self.N, alpha=alpha, lam=1.0)
+        part.validate()
+        assert_partition_within_bound(part, alpha)
+
+    def test_phf_equals_hf(self, family):
+        p1 = make_problems()[family]
+        p2 = make_problems()[family]
+        alpha = self.probed_alpha(p1)
+        phf = run_phf(p1, self.N, alpha=alpha)
+        hf = run_hf(p2, self.N)
+        assert phf.same_pieces_as(hf)
+
+
+@pytest.mark.parametrize("family", ["synthetic", "fe_tree", "domain"])
+class TestSimulatorMatchesLogical:
+    N = 10
+
+    def test_all_simulated_algorithms(self, family):
+        probs = [make_problems()[family] for _ in range(6)]
+        alpha = max(
+            1e-4, probe_bisector_quality(probs[0], max_nodes=128).min_alpha * 0.999
+        )
+        hf = run_hf(probs[1], self.N)
+        assert simulate_hf(probs[2], self.N).partition.same_pieces_as(hf)
+        assert simulate_ba(probs[3], self.N).partition.same_pieces_as(
+            run_ba(make_problems()[family], self.N)
+        )
+        assert simulate_bahf(
+            probs[4], self.N, alpha=alpha
+        ).partition.same_pieces_as(
+            run_bahf(make_problems()[family], self.N, alpha=alpha)
+        )
+        assert simulate_phf(
+            probs[5], self.N, alpha=alpha
+        ).partition.same_pieces_as(hf)
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script,args",
+        [
+            ("quickstart.py", ["16"]),
+            ("fem_tree_balancing.py", ["8", "400"]),
+            ("adaptive_quadrature.py", ["8"]),
+            ("domain_decomposition.py", ["6"]),
+            ("parallel_machine_demo.py", []),
+            ("machine_trace_gantt.py", ["8"]),
+            ("heterogeneous_cluster.py", ["8", "3"]),
+            ("parallel_search.py", ["6"]),
+            ("multiprocessing_quadrature.py", ["2"]),
+            ("fem_substructuring_solve.py", ["6", "48"]),
+        ],
+    )
+    def test_example_runs_clean(self, script, args):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "examples" / script), *args],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.experiments as experiments
+        import repro.fem as fem
+        import repro.problems as problems
+        import repro.simulator as simulator
+
+        for module in (core, problems, simulator, experiments, fem):
+            for name in module.__all__:
+                assert getattr(module, name) is not None

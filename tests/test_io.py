@@ -1,0 +1,122 @@
+"""Unit tests for sweep persistence (JSON round-trip)."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import StochasticConfig
+from repro.experiments.io import (
+    load_sweep,
+    save_sweep,
+    sweep_from_json,
+    sweep_to_json,
+)
+from repro.experiments.runner import run_sweep
+from repro.experiments.tables import format_table1
+from repro.problems import BetaAlpha, DiscreteAlpha, FixedAlpha, UniformAlpha
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cfg = StochasticConfig(
+        sampler=UniformAlpha(0.1, 0.5),
+        n_values=(32, 64),
+        algorithms=("hf", "ba"),
+        n_trials=12,
+        seed=4,
+    )
+    return run_sweep(cfg)
+
+
+class TestRoundTrip:
+    def test_records_identical(self, sweep):
+        clone = sweep_from_json(sweep_to_json(sweep))
+        assert len(clone.records) == len(sweep.records)
+        for a, b in zip(sweep.records, clone.records):
+            assert a.algorithm == b.algorithm
+            assert a.n_processors == b.n_processors
+            assert a.upper_bound == pytest.approx(b.upper_bound)
+            assert a.sample.mean == pytest.approx(b.sample.mean)
+            assert a.sample.variance == pytest.approx(b.sample.variance)
+
+    def test_config_identical(self, sweep):
+        clone = sweep_from_json(sweep_to_json(sweep))
+        assert clone.config.sampler == sweep.config.sampler
+        assert clone.config.n_values == sweep.config.n_values
+        assert clone.config.n_trials == sweep.config.n_trials
+
+    def test_reloaded_sweep_renders(self, sweep):
+        clone = sweep_from_json(sweep_to_json(sweep))
+        assert format_table1(clone) == format_table1(sweep)
+
+    def test_file_round_trip(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        clone = load_sweep(path)
+        assert clone.get("hf", 32).sample.mean == pytest.approx(
+            sweep.get("hf", 32).sample.mean
+        )
+
+    def test_json_is_valid_and_versioned(self, sweep):
+        payload = json.loads(sweep_to_json(sweep))
+        assert payload["format_version"] == 1
+        assert len(payload["records"]) == 4
+
+
+class TestSamplerSerialisation:
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            UniformAlpha(0.05, 0.4),
+            FixedAlpha(0.3),
+            BetaAlpha(2.0, 3.0, low=0.1, high=0.45),
+            DiscreteAlpha(values=(0.1, 0.3), probabilities=(0.25, 0.75)),
+        ],
+    )
+    def test_all_sampler_kinds(self, sampler):
+        cfg = StochasticConfig(
+            sampler=sampler,
+            n_values=(16,),
+            algorithms=("hf",),
+            n_trials=3,
+            seed=1,
+        )
+        sweep = run_sweep(cfg)
+        clone = sweep_from_json(sweep_to_json(sweep))
+        assert clone.config.sampler == sampler
+
+
+class TestErrors:
+    def test_wrong_version_rejected(self, sweep):
+        payload = json.loads(sweep_to_json(sweep))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            sweep_from_json(json.dumps(payload))
+
+    def test_unknown_sampler_kind_rejected(self, sweep):
+        payload = json.loads(sweep_to_json(sweep))
+        payload["config"]["sampler"] = {"kind": "cauchy"}
+        with pytest.raises(ValueError, match="sampler kind"):
+            sweep_from_json(json.dumps(payload))
+
+
+class TestCliJson:
+    def test_cli_writes_reloadable_json(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "t1.json"
+        assert (
+            main(
+                [
+                    "table1",
+                    "--trials",
+                    "3",
+                    "--max-n",
+                    "64",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        clone = load_sweep(target)
+        assert clone.config.n_trials == 3

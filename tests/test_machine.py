@@ -1,0 +1,121 @@
+"""Unit tests for the simulated machine and its cost accounting."""
+
+import pytest
+
+from repro.simulator import ConstantCost, LinearCost, LogCost, Machine, MachineConfig
+
+
+class TestConfig:
+    def test_defaults_are_unit_costs(self):
+        cfg = MachineConfig()
+        assert cfg.t_bisect == 1.0
+        assert cfg.t_send == 1.0
+        assert cfg.t_acquire == 0.0
+
+    def test_collective_cost_is_log(self):
+        cfg = MachineConfig(c_collective=2.0)
+        assert cfg.collective_cost(1) == 0.0
+        assert cfg.collective_cost(2) == 2.0
+        assert cfg.collective_cost(1024) == 20.0
+
+    def test_custom_collective_model(self):
+        cfg = MachineConfig(collective_model=ConstantCost(5.0))
+        assert cfg.collective_cost(1024) == 5.0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            MachineConfig(t_bisect=-1.0)
+        with pytest.raises(ValueError):
+            MachineConfig(t_send=-0.1)
+
+
+class TestMachineAccounting:
+    def test_bisect_advances_clock(self):
+        m = Machine(2)
+        end = m.bisect_at(1, 0.0)
+        assert end == 1.0
+        assert m.busy_until[0] == 1.0
+        assert m.n_bisections == 1
+        assert m.work_time[0] == 1.0
+
+    def test_bisect_queues_behind_busy(self):
+        m = Machine(2)
+        m.bisect_at(1, 0.0)
+        end = m.bisect_at(1, 0.5)  # asked to start while busy
+        assert end == 2.0
+
+    def test_send_occupies_sender_only(self):
+        m = Machine(3)
+        arrival = m.send(1, 2, 0.0)
+        assert arrival == 1.0
+        assert m.busy_until[0] == 1.0
+        assert m.busy_until[1] == 0.0  # receiver not blocked by model
+        assert m.n_messages == 1
+
+    def test_send_to_self_rejected(self):
+        m = Machine(2)
+        with pytest.raises(ValueError):
+            m.send(1, 1, 0.0)
+
+    def test_processor_range_checked(self):
+        m = Machine(2)
+        with pytest.raises(ValueError):
+            m.bisect_at(3, 0.0)
+        with pytest.raises(ValueError):
+            m.bisect_at(0, 0.0)
+
+    def test_collective_synchronises_everyone(self):
+        m = Machine(4)
+        m.bisect_at(2, 0.0)  # P2 busy until 1.0
+        end = m.collective(0.0)
+        assert end == 1.0 + m.config.collective_cost(4)
+        assert all(t == end for t in m.busy_until)
+        assert m.n_collectives == 1
+        assert m.collective_time == m.config.collective_cost(4)
+
+    def test_control_request_counted_separately(self):
+        m = Machine(3, MachineConfig(t_acquire=0.5))
+        end = m.control_request(1, 2, 0.0)
+        assert end == 0.5
+        assert m.n_control_messages == 1
+        assert m.n_messages == 0
+
+    def test_acquire_free_charges_t_acquire(self):
+        m = Machine(2, MachineConfig(t_acquire=2.0))
+        assert m.acquire_free(1, 1.0) == 3.0
+
+    def test_makespan(self):
+        m = Machine(3)
+        m.bisect_at(1, 0.0)
+        m.bisect_at(2, 5.0)
+        assert m.makespan == 6.0
+
+    def test_utilization(self):
+        m = Machine(2)
+        m.bisect_at(1, 0.0)  # 1 unit of work, makespan 1, 2 processors
+        assert m.utilization() == pytest.approx(0.5)
+
+    def test_utilization_zero_without_work(self):
+        assert Machine(4).utilization() == 0.0
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+
+class TestCollectiveModels:
+    def test_log_cost(self):
+        model = LogCost(scale=2.0, latency=1.0)
+        assert model(1) == 1.0
+        assert model(8) == 7.0
+
+    def test_linear_cost(self):
+        model = LinearCost(scale=0.5, latency=1.0)
+        assert model(9) == 5.0
+
+    def test_constant_cost(self):
+        assert ConstantCost(3.0)(1000) == 3.0
+
+    def test_invalid_participants(self):
+        with pytest.raises(ValueError):
+            LogCost()(0)

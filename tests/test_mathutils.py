@@ -1,0 +1,62 @@
+"""Unit tests for repro.utils.mathutils."""
+
+import pytest
+
+from repro.utils.mathutils import ceil_div, ilog2, is_power_of_two, next_power_of_two
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(0, 1, 0), (1, 1, 1), (5, 2, 3), (6, 2, 3), (7, 2, 4), (100, 7, 15)],
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    def test_rejects_negative_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, -2)
+
+
+class TestIlog2:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10), (1025, 11)],
+    )
+    def test_values(self, n, expected):
+        assert ilog2(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+    def test_is_ceiling_log(self):
+        import math
+
+        for n in range(1, 5000):
+            assert ilog2(n) == math.ceil(math.log2(n))
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        powers = {1 << k for k in range(20)}
+        for n in range(1, 3000):
+            assert is_power_of_two(n) == (n in powers)
+
+    def test_non_positive_not_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16), (1000, 1024)]
+    )
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_next_power_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)

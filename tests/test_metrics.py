@@ -1,0 +1,102 @@
+"""Unit tests for load-balance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    idle_fraction,
+    imbalance,
+    normalized_std,
+    ratio,
+    summarize_ratios,
+)
+
+
+class TestRatio:
+    def test_perfect_balance(self):
+        assert ratio([1.0, 1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # max 3, mean 2 -> ratio 1.5
+        assert ratio([1.0, 2.0, 3.0, 2.0]) == pytest.approx(1.5)
+
+    def test_with_idle_processors(self):
+        # 2 pieces of 0.5 on 4 processors: ideal 0.25 -> ratio 2
+        assert ratio([0.5, 0.5], n_processors=4) == pytest.approx(2.0)
+
+    def test_single_piece(self):
+        assert ratio([7.0]) == pytest.approx(1.0)
+
+    def test_ratio_never_below_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            w = rng.uniform(0.1, 5.0, size=rng.integers(1, 30))
+            assert ratio(w) >= 1.0 - 1e-12
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ratio([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ratio([])
+
+    def test_rejects_more_pieces_than_processors(self):
+        with pytest.raises(ValueError):
+            ratio([1.0, 1.0, 1.0], n_processors=2)
+
+
+class TestOtherMetrics:
+    def test_imbalance_is_ratio_minus_one(self):
+        w = [1.0, 2.0, 3.0]
+        assert imbalance(w) == pytest.approx(ratio(w) - 1.0)
+
+    def test_normalized_std_zero_for_uniform(self):
+        assert normalized_std([2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_normalized_std_known(self):
+        # weights 1,3: mean 2, population std 1 -> CV 0.5
+        assert normalized_std([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_idle_fraction(self):
+        assert idle_fraction([1.0, 1.0], 4) == pytest.approx(0.5)
+        assert idle_fraction([1.0, 1.0], 2) == 0.0
+
+    def test_idle_fraction_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            idle_fraction([1.0, 1.0, 1.0], 2)
+
+
+class TestSummarizeRatios:
+    def test_basic_stats(self):
+        s = summarize_ratios([1.0, 2.0, 3.0])
+        assert s.n_trials == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.mean == pytest.approx(2.0)
+        assert s.variance == pytest.approx(1.0)  # ddof=1
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_trial_zero_variance(self):
+        s = summarize_ratios([1.5])
+        assert s.variance == 0.0
+        assert s.std == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        data = 1.0 + rng.random(200)
+        s = summarize_ratios(data)
+        assert s.mean == pytest.approx(float(np.mean(data)))
+        assert s.variance == pytest.approx(float(np.var(data, ddof=1)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_ratios([])
+
+    def test_rejects_subunit_ratios(self):
+        with pytest.raises(ValueError, match="impossible"):
+            summarize_ratios([0.5, 1.2])
+
+    def test_as_dict_keys(self):
+        d = summarize_ratios([1.0, 2.0]).as_dict()
+        assert set(d) == {"n_trials", "min", "avg", "max", "var", "std"}

@@ -1,0 +1,150 @@
+"""Tests for the extension studies: topology (E7), worst-case (E8),
+distribution shapes (E9), and the 'steal' PHF phase-1 mode."""
+
+import pytest
+
+from repro.core import run_hf
+from repro.experiments.distribution_study import (
+    default_shapes,
+    render_distribution_study,
+    run_distribution_study,
+)
+from repro.experiments.topology_study import (
+    render_topology_study,
+    run_topology_study,
+)
+from repro.experiments.worstcase_study import (
+    render_worstcase_study,
+    run_worstcase_study,
+)
+from repro.problems import SyntheticProblem, UniformAlpha
+from repro.simulator import simulate_phf
+
+
+class TestTopologyStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_topology_study(n_values=(16, 64), n_repeats=2, seed=41)
+
+    def test_complete_is_fastest(self, result):
+        for algo in ("ba", "phf"):
+            for n in (16, 64):
+                for topo in ("hypercube", "mesh2d", "ring"):
+                    assert result.slowdown(topo, algo, n) >= 1.0 - 1e-9
+
+    def test_ring_worst_for_collective_algorithms(self, result):
+        # ring diameter N/2 inflates PHF's collectives hardest
+        assert result.slowdown("ring", "phf", 64) > result.slowdown(
+            "hypercube", "phf", 64
+        )
+
+    def test_ba_degrades_most_gracefully_on_ring(self, result):
+        # the paper's conclusion: architecture decides; BA's locality wins
+        # on sparse networks
+        assert result.slowdown("ring", "ba", 64) <= result.slowdown(
+            "ring", "hf", 64
+        ) * 1.5
+
+    def test_hops_grow_on_sparse_topologies(self, result):
+        complete = result.get("complete", "ba", 64).total_hops
+        ring = result.get("ring", "ba", 64).total_hops
+        assert ring > complete
+
+    def test_get_unknown_raises(self, result):
+        with pytest.raises(KeyError):
+            result.get("torus", "ba", 16)
+
+    def test_render(self, result):
+        out = render_topology_study(result)
+        assert "ring" in out and "hypercube" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_topology_study(topologies=("torus",), n_values=(16,))
+        with pytest.raises(ValueError):
+            run_topology_study(n_repeats=0)
+
+
+class TestWorstCaseStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_worstcase_study(
+            alphas=(0.1, 1 / 3),
+            algorithms=("hf", "ba"),
+            n_values=(7, 16, 63, 127),
+            repeats=2,
+            seed=42,
+        )
+
+    def test_all_within_bounds(self, result):
+        for rep in result.reports.values():
+            assert rep.tightness <= 1.0 + 1e-9
+
+    def test_hf_tighter_than_ba(self, result):
+        # HF's bound is nearly achieved; BA's carries the loose e-factor
+        assert result.max_tightness("hf") > result.max_tightness("ba")
+
+    def test_render(self, result):
+        out = render_worstcase_study(result)
+        assert "tightness" in out and "witness" in out
+
+
+class TestDistributionStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_distribution_study(
+            n_trials=100, n_values=(32, 128), seed=43
+        )
+
+    def test_ordering_survives_every_shape(self, result):
+        for shape in result.shapes:
+            assert result.ordering_holds(shape)
+
+    def test_hf_flat_for_every_shape(self, result):
+        for shape in result.shapes:
+            assert result.hf_flatness(shape) < 0.15
+
+    def test_left_skew_worse_than_right_skew(self, result):
+        # more mass near the bad (small-alpha) end -> worse balance
+        assert result.mean("beta_left", "hf", 128) > result.mean(
+            "beta_right", "hf", 128
+        )
+
+    def test_default_shapes_share_support(self):
+        shapes = default_shapes(0.1, 0.5)
+        assert {s.alpha for s in shapes.values()} == {0.1}
+        assert {s.beta for s in shapes.values()} == {0.5}
+
+    def test_render(self, result):
+        out = render_distribution_study(result)
+        assert "uniform" in out and "two_point" in out
+
+
+class TestStealPhase1:
+    def test_partition_still_equals_hf(self):
+        p1 = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=44)
+        p2 = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=44)
+        res = simulate_phf(p1, 64, phase1="steal")
+        assert res.partition.same_pieces_as(run_hf(p2, 64))
+
+    def test_probe_cost_charged(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=45)
+        central = simulate_phf(
+            SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=45), 64
+        )
+        steal = simulate_phf(p, 64, phase1="steal")
+        # probing needs at least one control message per phase-1 bisection,
+        # strictly more than the central manager's zero
+        assert steal.n_control_messages > central.n_control_messages
+
+    def test_seeded_reproducibility(self):
+        mk = lambda: SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=46)
+        a = simulate_phf(mk(), 32, phase1="steal", steal_seed=5)
+        b = simulate_phf(mk(), 32, phase1="steal", steal_seed=5)
+        assert a.n_control_messages == b.n_control_messages
+        assert a.parallel_time == pytest.approx(b.parallel_time)
+
+    def test_meta_records_mode(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=47)
+        res = simulate_phf(p, 16, phase1="steal")
+        assert res.partition.meta["phase1_mode"] == "steal"

@@ -1,0 +1,105 @@
+"""Unit tests for the Partition result type."""
+
+import pytest
+
+from repro.core import Partition, run_hf
+from repro.problems import FixedAlpha, SyntheticProblem
+
+
+def make_partition(weights, n=None, algorithm="test"):
+    pieces = [SyntheticProblem(w, FixedAlpha(0.3), seed=i) for i, w in enumerate(weights)]
+    return Partition(
+        pieces=pieces,
+        total_weight=sum(weights),
+        n_processors=len(weights) if n is None else n,
+        algorithm=algorithm,
+        num_bisections=len(weights) - 1,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        part = make_partition([0.5, 0.3, 0.2])
+        assert part.weights == pytest.approx([0.5, 0.3, 0.2])
+        assert part.max_weight == pytest.approx(0.5)
+        assert part.min_weight == pytest.approx(0.2)
+        assert part.ideal_weight == pytest.approx(1.0 / 3.0)
+        assert part.ratio == pytest.approx(1.5)
+        assert part.idle_processors == 0
+
+    def test_idle_processors_counted(self):
+        part = make_partition([0.5, 0.5], n=5)
+        assert part.idle_processors == 3
+        assert part.ratio == pytest.approx(2.5)
+
+    def test_rejects_empty_pieces(self):
+        with pytest.raises(ValueError):
+            Partition(pieces=[], total_weight=1.0, n_processors=2)
+
+    def test_rejects_too_many_pieces(self):
+        with pytest.raises(ValueError):
+            make_partition([0.5, 0.5, 0.5], n=2)
+
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError):
+            make_partition([1.0], n=0)
+
+    def test_rejects_nonpositive_total(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        with pytest.raises(ValueError):
+            Partition(pieces=[p], total_weight=0.0, n_processors=1)
+
+
+class TestValidate:
+    def test_valid_partition_passes(self):
+        make_partition([0.4, 0.6]).validate()
+
+    def test_weight_mismatch_detected(self):
+        pieces = [SyntheticProblem(0.5, FixedAlpha(0.3), seed=0)]
+        part = Partition(pieces=pieces, total_weight=1.0, n_processors=1)
+        with pytest.raises(ValueError, match="sum"):
+            part.validate()
+
+    def test_tree_leaf_count_checked(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        part = run_hf(p, 8, record_tree=True)
+        part.validate()
+        part.pieces.pop()  # corrupt: now 7 pieces vs 8 tree leaves
+        with pytest.raises(ValueError):
+            part.validate()
+
+
+class TestComparison:
+    def test_same_pieces_reflexive(self):
+        part = make_partition([0.4, 0.6])
+        assert part.same_pieces_as(part)
+
+    def test_same_pieces_order_insensitive(self):
+        a = make_partition([0.4, 0.6])
+        b = make_partition([0.6, 0.4])
+        assert a.same_pieces_as(b)
+
+    def test_different_weights_detected(self):
+        a = make_partition([0.4, 0.6])
+        b = make_partition([0.5, 0.5])
+        assert not a.same_pieces_as(b)
+
+    def test_different_piece_count_detected(self):
+        a = make_partition([0.4, 0.6])
+        b = make_partition([0.4, 0.3, 0.3], n=3)
+        assert not a.same_pieces_as(b)
+
+    def test_sorted_weights(self):
+        part = make_partition([0.2, 0.5, 0.3])
+        assert part.sorted_weights() == pytest.approx([0.5, 0.3, 0.2])
+
+
+class TestMisc:
+    def test_weight_conservation_error_small_for_real_runs(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        part = run_hf(p, 50)
+        assert part.weight_conservation_error() < 1e-12
+
+    def test_summary_mentions_algorithm_and_ratio(self):
+        s = make_partition([0.4, 0.6], algorithm="hf").summary()
+        assert "hf" in s and "ratio" in s

@@ -1,0 +1,141 @@
+"""Property-based tests for the extension modules.
+
+Covers: topology metric axioms, the weighted speed-run split, selection
+variants' conservation, search-space/task-DAG conservation, and the
+sweep JSON round-trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.heterogeneous import split_speed_run, weighted_ratio
+from repro.core.variants import SELECTION_STRATEGIES, selection_final_weights
+from repro.problems import SearchSpaceProblem, random_task_dag
+from repro.simulator import (
+    CompleteTopology,
+    HypercubeTopology,
+    Mesh2DTopology,
+    RingTopology,
+)
+
+
+def _topologies(n):
+    topos = [CompleteTopology(n), Mesh2DTopology(n), RingTopology(n)]
+    if n & (n - 1) == 0:
+        topos.append(HypercubeTopology(n))
+    return topos
+
+
+class TestTopologyMetricAxioms:
+    @given(
+        n=st.integers(min_value=2, max_value=32),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_metric_properties(self, n, data):
+        for topo in _topologies(n):
+            a = data.draw(st.integers(min_value=1, max_value=n))
+            b = data.draw(st.integers(min_value=1, max_value=n))
+            c = data.draw(st.integers(min_value=1, max_value=n))
+            dab = topo.distance(a, b)
+            # identity and positivity
+            assert topo.distance(a, a) == 0
+            assert dab >= (1 if a != b else 0)
+            # symmetry
+            assert dab == topo.distance(b, a)
+            # triangle inequality
+            assert dab <= topo.distance(a, c) + topo.distance(c, b)
+
+    @given(n=st.integers(min_value=2, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_diameter_bounds(self, n):
+        for topo in _topologies(n):
+            d = topo.diameter()
+            assert 1 <= d <= n
+
+
+class TestWeightedSplitProperty:
+    @given(
+        w2=st.floats(min_value=1e-4, max_value=0.5),
+        n=st.integers(min_value=2, max_value=24),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_split_optimal_over_all_cuts(self, w2, n, data):
+        w1 = 1.0 - w2
+        assume(w1 >= w2)
+        speeds = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.1, max_value=10.0),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        k, cost = split_speed_run(w1, w2, speeds)
+        assert 1 <= k <= n - 1
+        best = min(
+            max(w1 / speeds[:j].sum(), w2 / speeds[j:].sum())
+            for j in range(1, n)
+        )
+        assert cost == pytest.approx(best)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=20
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_weighted_ratio_at_least_one(self, weights, data):
+        speeds = data.draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=10.0),
+                min_size=len(weights),
+                max_size=len(weights),
+            )
+        )
+        assert weighted_ratio(weights, speeds) >= 1.0 - 1e-9
+
+
+class TestSelectionVariantsProperty:
+    @given(
+        strategy=st.sampled_from(SELECTION_STRATEGIES),
+        n=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_conservation_all_strategies(self, strategy, n, seed):
+        rng = np.random.default_rng(seed)
+        draws = rng.uniform(0.05, 0.5, size=max(1, n - 1))
+        w = selection_final_weights(strategy, 3.0, n, draws, rng=rng)
+        assert len(w) == n
+        assert w.sum() == pytest.approx(3.0)
+        assert (w > 0).all()
+
+
+class TestNewProblemFamiliesProperty:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_search_space_conservation(self, seed):
+        p = SearchSpaceProblem.root(1.0, seed=seed)
+        a, b = p.bisect()
+        assert a.weight + b.weight == pytest.approx(1.0)
+        aa, ab = a.bisect()
+        assert aa.weight + ab.weight == pytest.approx(a.weight)
+
+    @given(
+        n_tasks=st.integers(min_value=2, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_task_dag_conservation(self, n_tasks, seed):
+        p = random_task_dag(n_tasks, seed=seed)
+        assert p.n_tasks == n_tasks
+        if p.can_bisect:
+            a, b = p.bisect()
+            assert a.weight + b.weight == pytest.approx(p.weight)
+            assert a.n_tasks + b.n_tasks == n_tasks

@@ -1,0 +1,146 @@
+"""Unit tests for adaptive-quadrature problems."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_hf
+from repro.problems import QuadratureProblem, oscillatory_integrand, peak_integrand
+
+
+def flat(x):
+    return np.ones(x.shape[:-1])
+
+
+@pytest.fixture
+def unit_square():
+    return QuadratureProblem(
+        lower=[0.0, 0.0], upper=[1.0, 1.0], integrand=flat, samples_per_axis=3
+    )
+
+
+class TestConstruction:
+    def test_weight_from_estimate(self, unit_square):
+        # flat integrand over the unit square: estimate = 1 * volume = 1
+        assert unit_square.weight == pytest.approx(1.0)
+
+    def test_explicit_weight(self):
+        p = QuadratureProblem(
+            [0.0], [2.0], flat, weight=5.0, samples_per_axis=3
+        )
+        assert p.weight == pytest.approx(5.0)
+
+    def test_dim_and_volume(self, unit_square):
+        assert unit_square.dim == 2
+        assert unit_square.volume == pytest.approx(1.0)
+
+    def test_alpha_is_min_alpha(self):
+        p = QuadratureProblem(
+            [0.0], [1.0], flat, samples_per_axis=3, min_alpha=0.08
+        )
+        assert p.alpha == pytest.approx(0.08)
+
+    def test_rejects_inverted_box(self):
+        with pytest.raises(ValueError):
+            QuadratureProblem([1.0], [0.0], flat)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            QuadratureProblem([0.0, 0.0], [1.0], flat)
+
+    def test_rejects_few_samples(self):
+        with pytest.raises(ValueError):
+            QuadratureProblem([0.0], [1.0], flat, samples_per_axis=1)
+
+    def test_rejects_bad_min_alpha(self):
+        with pytest.raises(ValueError):
+            QuadratureProblem([0.0], [1.0], flat, min_alpha=0.6)
+
+    def test_rejects_negative_integrand(self):
+        with pytest.raises(ValueError):
+            QuadratureProblem([0.0], [1.0], lambda x: -flat(x))
+
+    def test_rejects_zero_difficulty(self):
+        with pytest.raises(ValueError):
+            QuadratureProblem([0.0], [1.0], lambda x: 0.0 * flat(x))
+
+
+class TestBisection:
+    def test_exact_weight_conservation(self, unit_square):
+        a, b = unit_square.bisect()
+        assert a.weight + b.weight == pytest.approx(unit_square.weight, rel=1e-15)
+
+    def test_splits_longest_axis(self):
+        p = QuadratureProblem(
+            [0.0, 0.0], [4.0, 1.0], flat, samples_per_axis=3
+        )
+        a, b = p.bisect()
+        # the long (first) axis is halved
+        for child in (a, b):
+            assert child.upper[0] - child.lower[0] == pytest.approx(2.0)
+            assert child.upper[1] - child.lower[1] == pytest.approx(1.0)
+
+    def test_children_tile_parent(self, unit_square):
+        a, b = unit_square.bisect()
+        assert a.volume + b.volume == pytest.approx(unit_square.volume)
+
+    def test_flat_integrand_splits_evenly(self, unit_square):
+        a, b = unit_square.bisect()
+        assert a.weight == pytest.approx(b.weight)
+
+    def test_peak_integrand_skews_weight(self):
+        p = QuadratureProblem(
+            [0.0, 0.0],
+            [1.0, 1.0],
+            peak_integrand((0.1, 0.1), sharpness=80.0),
+            samples_per_axis=7,
+            min_alpha=0.01,
+        )
+        a, b = p.bisect()
+        # one half contains the peak and must be much heavier
+        assert max(a.weight, b.weight) > 2.0 * min(a.weight, b.weight)
+
+    def test_min_alpha_clamp_respected(self):
+        p = QuadratureProblem(
+            [0.0, 0.0],
+            [1.0, 1.0],
+            peak_integrand((0.05, 0.05), sharpness=500.0),
+            samples_per_axis=7,
+            min_alpha=0.2,
+        )
+        share = p.observed_alpha()
+        assert share >= 0.2 - 1e-12
+
+    def test_deterministic(self):
+        mk = lambda: QuadratureProblem(
+            [0.0, 0.0], [1.0, 1.0], peak_integrand((0.3, 0.4)), samples_per_axis=5
+        )
+        a1, _ = mk().bisect()
+        a2, _ = mk().bisect()
+        assert a1.weight == pytest.approx(a2.weight)
+
+
+class TestIntegrands:
+    def test_peak_maximal_at_center(self):
+        f = peak_integrand((0.5, 0.5), sharpness=10.0)
+        at_center = f(np.array([0.5, 0.5]))
+        away = f(np.array([0.9, 0.9]))
+        assert at_center > away
+
+    def test_oscillatory_positive(self):
+        f = oscillatory_integrand(4.0)
+        xs = np.random.default_rng(0).random((100, 2))
+        assert (f(xs) > 0).all()
+
+
+class TestEndToEnd:
+    def test_hf_on_peak_problem(self):
+        p = QuadratureProblem(
+            [0.0, 0.0],
+            [1.0, 1.0],
+            peak_integrand((0.2, 0.7), sharpness=40.0),
+            samples_per_axis=5,
+        )
+        part = run_hf(p, 12)
+        part.validate()
+        assert sum(c.volume for c in part.pieces) == pytest.approx(1.0)
+        assert part.ratio < 2.5

@@ -1,0 +1,60 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.experiments.report import REPORT_SECTIONS, generate_report
+
+
+class TestGenerateReport:
+    def test_selected_sections_written(self, tmp_path):
+        path = generate_report(
+            tmp_path / "r.md",
+            n_trials=5,
+            seed=3,
+            sections=("table1", "worstcase"),
+        )
+        text = path.read_text()
+        assert "# Reproduction report" in text
+        assert "## Table 1" in text
+        assert "tightness" in text
+        assert "## Figure 5" not in text
+
+    def test_metadata_embedded(self, tmp_path):
+        path = generate_report(
+            tmp_path / "r.md", n_trials=5, seed=99, sections=("table1",)
+        )
+        text = path.read_text()
+        assert "seed: 99" in text
+        assert "5 trials" in text
+
+    def test_unknown_section_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown report sections"):
+            generate_report(tmp_path / "r.md", sections=("tablet",))
+
+    def test_section_registry_complete(self):
+        ids = {s for _, s in REPORT_SECTIONS}
+        assert {"table1", "figure5", "lambda", "runtime"} <= ids
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "REPORT.md"
+        # keep it fast: small grid; the CLI runs every section
+        assert (
+            main(
+                [
+                    "report",
+                    "--trials",
+                    "4",
+                    "--max-n",
+                    "64",
+                    "--out",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.exists()
+        text = target.read_text()
+        for title, _ in REPORT_SECTIONS:
+            assert f"## {title}" in text

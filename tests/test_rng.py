@@ -1,0 +1,107 @@
+"""Unit tests for repro.utils.rng: deterministic seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    SeedSequenceFactory,
+    child_seed,
+    ensure_generator,
+    split_seed,
+)
+
+
+class TestSplitSeed:
+    def test_deterministic(self):
+        assert split_seed(42, 0) == split_seed(42, 0)
+        assert split_seed(42, 7) == split_seed(42, 7)
+
+    def test_different_indices_differ(self):
+        seeds = {split_seed(42, i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_different_parents_differ(self):
+        assert split_seed(1, 0) != split_seed(2, 0)
+
+    def test_output_is_64_bit(self):
+        for i in range(100):
+            s = split_seed(123456789, i)
+            assert 0 <= s < 2**64
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            split_seed(1, -1)
+
+    def test_no_collisions_across_parents_and_indices(self):
+        seeds = set()
+        for parent in range(50):
+            for idx in range(50):
+                seeds.add(split_seed(parent, idx))
+        assert len(seeds) == 2500
+
+    def test_large_parent_wraps_to_64_bits(self):
+        # parents beyond 64 bits are masked, not rejected
+        assert split_seed(2**64 + 5, 0) == split_seed(5, 0)
+
+
+class TestChildSeed:
+    def test_empty_path_is_identity(self):
+        assert child_seed(99) == 99
+
+    def test_path_matches_iterated_split(self):
+        assert child_seed(7, 0, 1) == split_seed(split_seed(7, 0), 1)
+
+    def test_sibling_paths_differ(self):
+        assert child_seed(7, 0, 0) != child_seed(7, 0, 1)
+
+    def test_left_right_asymmetric(self):
+        # path [0,1] must differ from [1,0]
+        assert child_seed(7, 0, 1) != child_seed(7, 1, 0)
+
+
+class TestEnsureGenerator:
+    def test_accepts_none(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+    def test_accepts_int_and_is_deterministic(self):
+        a = ensure_generator(5).random(4)
+        b = ensure_generator(5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_passes_through_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_generator(gen) is gen
+
+    def test_accepts_seed_sequence(self):
+        ss = np.random.SeedSequence(11)
+        assert isinstance(ensure_generator(ss), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_generator("not a seed")
+
+
+class TestSeedSequenceFactory:
+    def test_reproducible(self):
+        f1, f2 = SeedSequenceFactory(10), SeedSequenceFactory(10)
+        assert [f1.seed_for(i) for i in range(5)] == [
+            f2.seed_for(i) for i in range(5)
+        ]
+
+    def test_trials_independent(self):
+        fac = SeedSequenceFactory(10)
+        assert len({fac.seed_for(i) for i in range(500)}) == 500
+
+    def test_generator_for_is_seeded(self):
+        fac = SeedSequenceFactory(10)
+        a = fac.generator_for(3).random(4)
+        b = fac.generator_for(3).random(4)
+        assert np.array_equal(a, b)
+
+    def test_random_root_when_none(self):
+        # two factories without explicit roots should (overwhelmingly) differ
+        roots = {SeedSequenceFactory().root_seed for _ in range(4)}
+        assert len(roots) > 1
+
+    def test_root_seed_property(self):
+        assert SeedSequenceFactory(123).root_seed == 123

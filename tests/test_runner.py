@@ -1,0 +1,82 @@
+"""Unit tests for the sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import bound_for
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import run_sweep
+from repro.problems import UniformAlpha
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    cfg = StochasticConfig(
+        sampler=UniformAlpha(0.1, 0.5),
+        n_values=(32, 64),
+        algorithms=("hf", "bahf", "ba"),
+        n_trials=40,
+        seed=7,
+    )
+    return run_sweep(cfg)
+
+
+class TestRunSweep:
+    def test_one_record_per_cell(self, small_sweep):
+        assert len(small_sweep.records) == 6
+
+    def test_records_carry_upper_bounds(self, small_sweep):
+        for rec in small_sweep.records:
+            expected = bound_for(rec.algorithm, 0.1, rec.n_processors, 1.0)
+            assert rec.upper_bound == pytest.approx(expected)
+
+    def test_observed_below_upper_bound(self, small_sweep):
+        # the paper's central observation: averages far below worst case
+        for rec in small_sweep.records:
+            assert rec.sample.maximum <= rec.upper_bound + 1e-9
+            assert rec.sample.mean < rec.upper_bound
+
+    def test_ordering_hf_best_ba_worst(self, small_sweep):
+        # paper: "the balancing quality was the best for Algorithm HF and
+        # the worst for Algorithm BA in all experiments"
+        for n in (32, 64):
+            hf = small_sweep.get("hf", n).sample.mean
+            bahf = small_sweep.get("bahf", n).sample.mean
+            ba = small_sweep.get("ba", n).sample.mean
+            assert hf <= bahf <= ba
+
+    def test_get_unknown_cell_raises(self, small_sweep):
+        with pytest.raises(KeyError):
+            small_sweep.get("hf", 999)
+
+    def test_series_ascending(self, small_sweep):
+        series = small_sweep.series("hf", "mean")
+        assert [n for n, _ in series] == [32, 64]
+
+    def test_series_upper_bound_field(self, small_sweep):
+        series = small_sweep.series("ba", "upper_bound")
+        assert all(v > 1 for _, v in series)
+
+    def test_algorithms_order_preserved(self, small_sweep):
+        assert small_sweep.algorithms() == ["hf", "bahf", "ba"]
+
+    def test_record_as_dict(self, small_sweep):
+        d = small_sweep.records[0].as_dict()
+        for key in ("algorithm", "n", "sampler", "lambda", "ub", "avg"):
+            assert key in d
+
+
+class TestParallelJobs:
+    def test_njobs_matches_serial(self):
+        base = dict(
+            sampler=UniformAlpha(0.1, 0.5),
+            n_values=(32, 64),
+            algorithms=("hf", "ba"),
+            n_trials=15,
+            seed=3,
+        )
+        serial = run_sweep(StochasticConfig(**base, n_jobs=1))
+        parallel = run_sweep(StochasticConfig(**base, n_jobs=2))
+        for rs, rp in zip(serial.records, parallel.records):
+            assert rs.sample.mean == pytest.approx(rp.sample.mean)
+            assert rs.sample.maximum == pytest.approx(rp.sample.maximum)

@@ -1,0 +1,114 @@
+"""Unit tests for search-space (branch-and-bound frontier) problems."""
+
+import pytest
+
+from repro.core import run_ba, run_hf, run_phf, probe_bisector_quality
+from repro.problems import FrontierNode, SearchSpaceProblem
+
+
+class TestFrontierNode:
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError):
+            FrontierNode(seed=0, work=0.0)
+
+    def test_expand_conserves_work(self):
+        node = FrontierNode(seed=7, work=2.0)
+        children = node.expand(min_children=2, max_children=5, concentration=2.0)
+        assert sum(c.work for c in children) == pytest.approx(2.0)
+        assert 2 <= len(children) <= 5
+
+    def test_expand_deterministic(self):
+        node = FrontierNode(seed=7, work=1.0)
+        a = node.expand(min_children=2, max_children=5, concentration=2.0)
+        b = node.expand(min_children=2, max_children=5, concentration=2.0)
+        assert [c.work for c in a] == pytest.approx([c.work for c in b])
+        assert [c.seed for c in a] == [c.seed for c in b]
+
+    def test_children_have_distinct_seeds(self):
+        node = FrontierNode(seed=3, work=1.0)
+        children = node.expand(min_children=3, max_children=3, concentration=1.0)
+        assert len({c.seed for c in children}) == len(children)
+
+
+class TestSearchSpaceProblem:
+    def test_root_factory(self):
+        p = SearchSpaceProblem.root(4.0, seed=1)
+        assert p.weight == pytest.approx(4.0)
+        assert p.n_frontier_nodes == 1
+
+    def test_bisect_conserves_weight(self):
+        p = SearchSpaceProblem.root(1.0, seed=2)
+        a, b = p.bisect()
+        assert a.weight + b.weight == pytest.approx(1.0)
+        assert a.n_frontier_nodes >= 1 and b.n_frontier_nodes >= 1
+
+    def test_single_node_frontier_expands_before_split(self):
+        p = SearchSpaceProblem.root(1.0, seed=3)
+        a, b = p.bisect()
+        # the root node was expanded; the union of the two frontiers holds
+        # all its children
+        assert a.n_frontier_nodes + b.n_frontier_nodes >= 2
+
+    def test_multi_node_frontier_split_partitions(self):
+        nodes = [FrontierNode(seed=i, work=float(i + 1)) for i in range(6)]
+        p = SearchSpaceProblem(nodes)
+        a, b = p.bisect()
+        seeds = sorted(
+            [n.seed for n in a.frontier] + [n.seed for n in b.frontier]
+        )
+        assert seeds == sorted(n.seed for n in nodes)
+
+    def test_lpt_split_is_balanced(self):
+        nodes = [FrontierNode(seed=i, work=1.0) for i in range(10)]
+        p = SearchSpaceProblem(nodes)
+        a, b = p.bisect()
+        assert abs(a.weight - b.weight) <= 1.0 + 1e-12
+
+    def test_deterministic(self):
+        a1, _ = SearchSpaceProblem.root(1.0, seed=9).bisect()
+        a2, _ = SearchSpaceProblem.root(1.0, seed=9).bisect()
+        assert a1.weight == pytest.approx(a2.weight)
+
+    def test_higher_concentration_more_even(self):
+        lumpy = [
+            SearchSpaceProblem.root(1.0, seed=s, concentration=0.3).observed_alpha()
+            for s in range(100)
+        ]
+        even = [
+            SearchSpaceProblem.root(1.0, seed=s, concentration=20.0).observed_alpha()
+            for s in range(100)
+        ]
+        assert sum(even) / len(even) > sum(lumpy) / len(lumpy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpaceProblem([])
+        with pytest.raises(ValueError):
+            SearchSpaceProblem.root(1.0, min_children=1)
+        with pytest.raises(ValueError):
+            SearchSpaceProblem.root(1.0, concentration=0.0)
+
+
+class TestEndToEnd:
+    def test_hf_partitions_search_space(self):
+        p = SearchSpaceProblem.root(1.0, seed=11)
+        part = run_hf(p, 16)
+        part.validate()
+        assert len(part.pieces) == 16
+
+    def test_ba_partitions_search_space(self):
+        p = SearchSpaceProblem.root(1.0, seed=12)
+        part = run_ba(p, 16)
+        part.validate()
+
+    def test_phf_equals_hf(self):
+        alpha = max(
+            1e-4,
+            probe_bisector_quality(
+                SearchSpaceProblem.root(1.0, seed=13), max_nodes=200
+            ).min_alpha
+            * 0.999,
+        )
+        phf = run_phf(SearchSpaceProblem.root(1.0, seed=13), 12, alpha=alpha)
+        hf = run_hf(SearchSpaceProblem.root(1.0, seed=13), 12)
+        assert phf.same_pieces_as(hf)

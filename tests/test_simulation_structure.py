@@ -1,0 +1,140 @@
+"""Structural invariants of the simulated executions.
+
+Cross-cutting checks that hold for *every* simulated algorithm: message
+conservation (each piece travels at most once), collective-count
+formulas, monotone cost scaling, and composition with topologies and
+custom collective models.
+"""
+
+import math
+
+import pytest
+
+from repro.core import phf_phase2_max_iterations
+from repro.problems import SyntheticProblem, UniformAlpha
+from repro.simulator import (
+    ConstantCost,
+    HypercubeTopology,
+    LinearCost,
+    MachineConfig,
+    RingTopology,
+    simulate_ba,
+    simulate_bahf,
+    simulate_hf,
+    simulate_phf,
+)
+
+ALGOS = {
+    "hf": simulate_hf,
+    "ba": simulate_ba,
+    "bahf": simulate_bahf,
+    "phf": simulate_phf,
+}
+
+
+def problem(seed=0):
+    return SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=seed)
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("algo", sorted(ALGOS))
+    @pytest.mark.parametrize("n", [1, 2, 5, 32, 100])
+    def test_messages_equal_pieces_minus_one(self, algo, n):
+        res = ALGOS[algo](problem(n), n)
+        assert res.n_messages == len(res.partition.pieces) - 1
+
+    @pytest.mark.parametrize("algo", sorted(ALGOS))
+    def test_bisections_equal_pieces_minus_one(self, algo):
+        res = ALGOS[algo](problem(7), 64)
+        assert res.n_bisections == 63
+
+    @pytest.mark.parametrize("algo", sorted(ALGOS))
+    def test_utilization_in_unit_interval(self, algo):
+        res = ALGOS[algo](problem(8), 32)
+        assert 0.0 <= res.utilization <= 1.0
+
+    @pytest.mark.parametrize("algo", sorted(ALGOS))
+    def test_makespan_at_least_work_over_n(self, algo):
+        # N-1 bisections of unit cost over N processors
+        n = 32
+        res = ALGOS[algo](problem(9), n)
+        assert res.parallel_time >= (n - 1) / n
+
+    @pytest.mark.parametrize("algo", sorted(ALGOS))
+    def test_cost_scaling_monotone(self, algo):
+        cheap = ALGOS[algo](problem(10), 32, config=MachineConfig())
+        costly = ALGOS[algo](
+            problem(10), 32, config=MachineConfig(t_bisect=2.0, t_send=3.0)
+        )
+        assert costly.parallel_time >= cheap.parallel_time
+
+
+class TestPHFStructure:
+    def test_collective_count_formula(self):
+        # phase 1 end: barrier + numbering = 2; each phase-2 round: 2
+        # (max + count) + 1 barrier between rounds; + selection at most once
+        res = simulate_phf(problem(11), 128)
+        rounds = res.partition.meta["phase2_rounds"]
+        low = 2 + 2 * rounds + max(0, rounds - 1)
+        high = low + 1  # optional selection collective
+        assert low <= res.n_collectives <= high
+
+    def test_phase2_rounds_within_paper_bound(self):
+        for seed in range(5):
+            res = simulate_phf(problem(100 + seed), 256)
+            assert (
+                res.partition.meta["phase2_rounds"]
+                <= phf_phase2_max_iterations(0.1)
+            )
+
+    def test_collective_free_when_constant_model_zero(self):
+        cfg = MachineConfig(collective_model=ConstantCost(0.0))
+        res = simulate_phf(problem(12), 64, config=cfg)
+        assert res.collective_time == 0.0
+        assert res.n_collectives > 0
+
+    def test_linear_collectives_dominate_makespan(self):
+        log_cfg = MachineConfig()
+        lin_cfg = MachineConfig(collective_model=LinearCost(scale=1.0))
+        log_res = simulate_phf(problem(13), 128, config=log_cfg)
+        lin_res = simulate_phf(problem(13), 128, config=lin_cfg)
+        assert lin_res.parallel_time > log_res.parallel_time
+        assert lin_res.partition.same_pieces_as(log_res.partition)
+
+    def test_keep_policy_does_not_change_costs_counters(self):
+        heavy = simulate_phf(problem(14), 64, keep="heavy")
+        light = simulate_phf(problem(14), 64, keep="light")
+        assert heavy.n_messages == light.n_messages
+        assert heavy.n_bisections == light.n_bisections
+        assert heavy.partition.same_pieces_as(light.partition)
+
+
+class TestTopologyComposition:
+    @pytest.mark.parametrize("algo", ["ba", "phf"])
+    def test_partitions_invariant_under_topology(self, algo):
+        base = ALGOS[algo](problem(15), 64)
+        ring = ALGOS[algo](
+            problem(15),
+            64,
+            config=MachineConfig(topology=RingTopology, t_hop=1.0),
+        )
+        assert ring.partition.same_pieces_as(base.partition)
+        assert ring.parallel_time >= base.parallel_time
+
+    def test_hypercube_hops_bounded_by_log(self):
+        res = simulate_ba(
+            problem(16),
+            64,
+            config=MachineConfig(topology=HypercubeTopology, t_hop=1.0),
+        )
+        assert res.total_hops <= res.n_messages * int(math.log2(64))
+
+    def test_zero_hop_cost_neutralises_topology(self):
+        base = simulate_ba(problem(17), 32)
+        topo = simulate_ba(
+            problem(17),
+            32,
+            config=MachineConfig(topology=RingTopology, t_hop=0.0),
+        )
+        assert topo.parallel_time == pytest.approx(base.parallel_time)
+        assert topo.total_hops > base.total_hops  # hops counted regardless

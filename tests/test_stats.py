@@ -1,0 +1,139 @@
+"""Unit tests for the statistical utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    mean_difference_ci,
+    required_trials,
+    welch_diff_ci,
+)
+from repro.experiments.stats import _z_quantile
+
+
+class TestConfidenceInterval:
+    def test_properties(self):
+        ci = ConfidenceInterval(estimate=1.0, lower=0.5, upper=1.5, confidence=0.9)
+        assert ci.width == pytest.approx(1.0)
+        assert ci.contains(1.0)
+        assert not ci.contains(2.0)
+        assert ci.excludes_zero()
+
+    def test_zero_inside(self):
+        ci = ConfidenceInterval(estimate=0.1, lower=-0.2, upper=0.4, confidence=0.95)
+        assert not ci.excludes_zero()
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_for_large_sample(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, size=400)
+        ci = bootstrap_ci(data, seed=1)
+        assert ci.contains(5.0)
+        assert ci.estimate == pytest.approx(data.mean())
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, size=30), seed=2)
+        large = bootstrap_ci(rng.normal(0, 1, size=3000), seed=2)
+        assert large.width < small.width
+
+    def test_deterministic(self):
+        data = np.linspace(1, 2, 50)
+        a = bootstrap_ci(data, seed=3)
+        b = bootstrap_ci(data, seed=3)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_degenerate_sample(self):
+        ci = bootstrap_ci([2.0, 2.0, 2.0], seed=0)
+        assert ci.lower == pytest.approx(2.0)
+        assert ci.upper == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], n_resamples=2)
+
+
+class TestMeanDifferenceCI:
+    def test_detects_real_difference(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(3.0, 0.5, size=300)
+        b = rng.normal(2.0, 0.5, size=300)
+        ci = mean_difference_ci(a, b, seed=5)
+        assert ci.excludes_zero()
+        # the CI must track the realised sample difference
+        assert ci.contains(float(a.mean() - b.mean()))
+        assert abs(ci.estimate - 1.0) < 0.15
+
+    def test_no_difference_detected_for_same_distribution(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(2.0, 0.5, size=300)
+        b = rng.normal(2.0, 0.5, size=300)
+        ci = mean_difference_ci(a, b, seed=7)
+        assert not ci.excludes_zero()
+
+
+class TestWelchDiffCI:
+    def test_matches_bootstrap_direction(self):
+        rng = np.random.default_rng(8)
+        a = rng.normal(3.0, 0.5, size=200)
+        b = rng.normal(2.5, 0.5, size=200)
+        ci = welch_diff_ci(
+            a.mean(), a.var(ddof=1), a.size, b.mean(), b.var(ddof=1), b.size
+        )
+        assert ci.excludes_zero()
+        assert ci.contains(0.5)
+
+    def test_symmetric_around_estimate(self):
+        ci = welch_diff_ci(2.0, 0.25, 100, 1.8, 0.25, 100)
+        assert ci.estimate == pytest.approx(0.2)
+        assert (ci.upper - ci.estimate) == pytest.approx(ci.estimate - ci.lower)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            welch_diff_ci(1.0, 0.1, 1, 1.0, 0.1, 100)
+        with pytest.raises(ValueError):
+            welch_diff_ci(1.0, -0.1, 10, 1.0, 0.1, 10)
+
+
+class TestZQuantile:
+    def test_known_values(self):
+        assert _z_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _z_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _z_quantile(0.995) == pytest.approx(2.575829, abs=1e-4)
+
+    def test_matches_scipy(self):
+        from scipy.stats import norm
+
+        for p in (0.01, 0.1, 0.33, 0.77, 0.9, 0.999):
+            assert _z_quantile(p) == pytest.approx(norm.ppf(p), abs=1e-6)
+
+    def test_tails(self):
+        assert _z_quantile(1e-6) < -4.5
+        assert _z_quantile(1 - 1e-6) > 4.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _z_quantile(0.0)
+
+
+class TestRequiredTrials:
+    def test_formula(self):
+        pilot = [1.0, 3.0]  # sample std = sqrt(2)
+        n = required_trials(pilot, target_se=0.1)
+        assert 200 <= n <= 201  # (sqrt(2)/0.1)^2 = 200 up to float rounding
+
+    def test_zero_variance(self):
+        assert required_trials([2.0, 2.0, 2.0], target_se=0.1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_trials([1.0], target_se=0.1)
+        with pytest.raises(ValueError):
+            required_trials([1.0, 2.0], target_se=0.0)

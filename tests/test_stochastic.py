@@ -1,0 +1,136 @@
+"""Unit tests for the Monte-Carlo trial machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import bound_for, run_ba, run_bahf, run_hf
+from repro.experiments.stochastic import (
+    DrawStream,
+    sample_ratios,
+    trial_ratio,
+    trial_ratios,
+)
+from repro.problems import FixedAlpha, SyntheticProblem, UniformAlpha
+
+
+class TestDrawStream:
+    def test_values_in_support(self):
+        stream = DrawStream(UniformAlpha(0.2, 0.4), np.random.default_rng(0))
+        draws = [stream() for _ in range(100)]
+        assert all(0.2 <= d <= 0.4 for d in draws)
+        assert stream.n_draws == 100
+
+    def test_block_boundary_seamless(self):
+        stream = DrawStream(
+            UniformAlpha(0.1, 0.5), np.random.default_rng(1), block=7
+        )
+        draws = [stream() for _ in range(20)]  # crosses two refills
+        assert len(set(draws)) == 20  # continuous distribution: all distinct
+
+    def test_matches_unblocked_sampling(self):
+        # the stream must reproduce sampler.sample_many(rng, ...) order
+        sampler = UniformAlpha(0.1, 0.5)
+        direct = sampler.sample_many(np.random.default_rng(5), 10)
+        stream = DrawStream(sampler, np.random.default_rng(5), block=10)
+        assert [stream() for _ in range(10)] == pytest.approx(list(direct))
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            DrawStream(UniformAlpha(0.1, 0.5), np.random.default_rng(0), block=0)
+
+
+class TestTrialRatio:
+    @pytest.mark.parametrize("algorithm", ["hf", "phf", "ba", "bahf"])
+    def test_ratio_at_least_one(self, algorithm):
+        r = trial_ratio(
+            algorithm, 64, UniformAlpha(0.1, 0.5), np.random.default_rng(0)
+        )
+        assert r >= 1.0 - 1e-12
+
+    @pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf"])
+    def test_ratio_within_worst_case(self, algorithm):
+        sampler = UniformAlpha(0.05, 0.5)
+        for seed in range(10):
+            r = trial_ratio(
+                algorithm, 128, sampler, np.random.default_rng(seed)
+            )
+            assert r <= bound_for(algorithm, sampler.alpha, 128) + 1e-9
+
+    def test_phf_aliases_hf(self):
+        a = trial_ratio("phf", 64, UniformAlpha(0.1, 0.5), np.random.default_rng(3))
+        b = trial_ratio("hf", 64, UniformAlpha(0.1, 0.5), np.random.default_rng(3))
+        assert a == pytest.approx(b)
+
+    def test_perfect_balance_power_of_two(self):
+        for algo in ("hf", "ba", "bahf"):
+            r = trial_ratio(algo, 64, FixedAlpha(0.5), np.random.default_rng(0))
+            assert r == pytest.approx(1.0)
+
+    def test_hf_exact_small_case(self):
+        # fixed 0.5 splits, N=3: pieces 1/2, 1/4, 1/4 -> ratio 1.5
+        r = trial_ratio("hf", 3, FixedAlpha(0.5), np.random.default_rng(0))
+        assert r == pytest.approx(1.5)
+
+    def test_matches_object_api_fixed_alpha(self):
+        # the fast path and the object API agree on deterministic classes
+        n, a = 41, 0.3
+        rng = np.random.default_rng(0)
+        fast = trial_ratio("hf", n, FixedAlpha(a), rng)
+        obj = run_hf(SyntheticProblem(1.0, FixedAlpha(a), seed=0), n).ratio
+        assert fast == pytest.approx(obj)
+        fast_ba = trial_ratio("ba", n, FixedAlpha(a), rng)
+        obj_ba = run_ba(SyntheticProblem(1.0, FixedAlpha(a), seed=0), n).ratio
+        assert fast_ba == pytest.approx(obj_ba)
+        fast_bahf = trial_ratio("bahf", n, FixedAlpha(a), rng, lam=1.0)
+        obj_bahf = run_bahf(
+            SyntheticProblem(1.0, FixedAlpha(a), seed=0), n, lam=1.0
+        ).ratio
+        assert fast_bahf == pytest.approx(obj_bahf)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            trial_ratio("lpt", 8, UniformAlpha(0.1, 0.5), np.random.default_rng(0))
+
+    def test_single_processor_ratio_one(self):
+        r = trial_ratio("hf", 1, UniformAlpha(0.1, 0.5), np.random.default_rng(0))
+        assert r == pytest.approx(1.0)
+
+
+class TestTrialRatios:
+    def test_reproducible(self):
+        kw = dict(n_trials=20, seed=42)
+        a = trial_ratios("hf", 64, UniformAlpha(0.1, 0.5), **kw)
+        b = trial_ratios("hf", 64, UniformAlpha(0.1, 0.5), **kw)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = trial_ratios("hf", 64, UniformAlpha(0.1, 0.5), n_trials=10, seed=1)
+        b = trial_ratios("hf", 64, UniformAlpha(0.1, 0.5), n_trials=10, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_cells_use_independent_streams(self):
+        # different (algorithm, n) cells with the same seed must not share
+        # trial streams
+        a = trial_ratios("hf", 64, UniformAlpha(0.1, 0.5), n_trials=10, seed=1)
+        b = trial_ratios("hf", 128, UniformAlpha(0.1, 0.5), n_trials=10, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_shape(self):
+        out = trial_ratios("ba", 32, UniformAlpha(0.1, 0.5), n_trials=13, seed=0)
+        assert out.shape == (13,)
+        assert (out >= 1.0 - 1e-12).all()
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            trial_ratios("hf", 8, UniformAlpha(0.1, 0.5), n_trials=0, seed=0)
+
+
+class TestSampleRatios:
+    def test_summary_consistent_with_trials(self):
+        kw = dict(n_trials=50, seed=9)
+        raw = trial_ratios("hf", 64, UniformAlpha(0.1, 0.5), **kw)
+        summary = sample_ratios("hf", 64, UniformAlpha(0.1, 0.5), **kw)
+        assert summary.mean == pytest.approx(raw.mean())
+        assert summary.minimum == pytest.approx(raw.min())
+        assert summary.maximum == pytest.approx(raw.max())
+        assert summary.n_trials == 50

@@ -1,0 +1,101 @@
+"""Unit tests for SyntheticProblem (the paper's stochastic model)."""
+
+import numpy as np
+import pytest
+
+from repro.problems import FixedAlpha, SyntheticProblem, UniformAlpha
+
+
+class TestConstruction:
+    def test_weight_and_alpha(self):
+        p = SyntheticProblem(2.0, UniformAlpha(0.1, 0.5), seed=1)
+        assert p.weight == 2.0
+        assert p.alpha == 0.1
+
+    def test_default_sampler(self):
+        p = SyntheticProblem(1.0, seed=1)
+        assert p.alpha == pytest.approx(0.1)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            SyntheticProblem(0.0, FixedAlpha(0.3))
+
+
+class TestDeterminism:
+    def test_same_seed_same_children(self):
+        a = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=99)
+        b = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=99)
+        a1, a2 = a.bisect()
+        b1, b2 = b.bisect()
+        assert a1.weight == pytest.approx(b1.weight)
+        assert a2.weight == pytest.approx(b2.weight)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=1)
+        b = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=2)
+        assert a.bisect()[0].weight != pytest.approx(b.bisect()[0].weight)
+
+    def test_grandchildren_deterministic(self):
+        def descend(seed):
+            p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=seed)
+            c1, _ = p.bisect()
+            g1, g2 = c1.bisect()
+            return g1.weight, g2.weight
+
+        assert descend(7) == pytest.approx(descend(7))
+
+    def test_sibling_streams_independent(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=3)
+        c1, c2 = p.bisect()
+        # the two children's observed splits should not be identical
+        assert c1.observed_alpha() != pytest.approx(c2.observed_alpha())
+
+
+class TestBisectionSemantics:
+    def test_weight_conserved(self):
+        p = SyntheticProblem(3.0, UniformAlpha(0.1, 0.5), seed=4)
+        c1, c2 = p.bisect()
+        assert c1.weight + c2.weight == pytest.approx(3.0)
+
+    def test_share_within_sampler_support(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.2, 0.4), seed=5)
+        for _ in range(3):
+            share = p.observed_alpha()
+            assert 0.2 <= share <= 0.4
+            p, _ = p.bisect()
+
+    def test_fixed_alpha_exact(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        c1, c2 = p.bisect()
+        assert c2.weight == pytest.approx(0.3)
+        assert c1.weight == pytest.approx(0.7)
+
+    def test_depth_tracked(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        c1, c2 = p.bisect()
+        assert p.depth == 0
+        assert c1.depth == 1 and c2.depth == 1
+        assert c1.bisect()[0].depth == 2
+
+    def test_children_carry_sampler(self):
+        s = UniformAlpha(0.15, 0.45)
+        p = SyntheticProblem(1.0, s, seed=6)
+        c1, _ = p.bisect()
+        assert c1.sampler is s
+        assert c1.alpha == 0.15
+
+    def test_deep_recursion_no_stack_issue(self):
+        # repeatedly bisect the heavier child 5000 times
+        p = SyntheticProblem(1.0, FixedAlpha(0.01), seed=1)
+        for _ in range(5000):
+            p, _ = p.bisect()
+        assert p.weight > 0
+
+    def test_empirical_distribution_matches_sampler(self):
+        # observed alpha of many root bisections ~ U[0.1, 0.5]
+        shares = [
+            SyntheticProblem(1.0, UniformAlpha(0.1, 0.5), seed=s).observed_alpha()
+            for s in range(2000)
+        ]
+        assert np.mean(shares) == pytest.approx(0.3, abs=0.01)
+        assert min(shares) >= 0.1 and max(shares) <= 0.5

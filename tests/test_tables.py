@@ -1,0 +1,102 @@
+"""Unit tests for table/figure rendering."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import run_sweep
+from repro.experiments.tables import (
+    ascii_chart,
+    format_series,
+    format_table1,
+    sweep_to_csv,
+)
+from repro.problems import UniformAlpha
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cfg = StochasticConfig(
+        sampler=UniformAlpha(0.1, 0.5),
+        n_values=(32, 64, 100),
+        algorithms=("hf", "ba"),
+        n_trials=10,
+        seed=1,
+    )
+    return run_sweep(cfg)
+
+
+class TestFormatTable1:
+    def test_contains_blocks_and_rows(self, sweep):
+        out = format_table1(sweep)
+        for token in ("HF", "BA", "ub", "min", "avg", "max"):
+            assert token in out
+
+    def test_power_of_two_shown_as_log(self, sweep):
+        out = format_table1(sweep)
+        assert " 5" in out and " 6" in out  # log2 32, log2 64
+        assert "100" in out  # non-power shown raw
+
+    def test_mentions_sampler_and_trials(self, sweep):
+        out = format_table1(sweep)
+        assert "U[0.1,0.5]" in out
+        assert "10 trials" in out
+
+
+class TestFormatSeries:
+    def test_one_row_per_n(self, sweep):
+        out = format_series(sweep, "mean")
+        # 3 N values + header rows
+        assert len(out.splitlines()) == 6
+
+    def test_custom_title(self, sweep):
+        out = format_series(sweep, "mean", title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_upper_bound_field(self, sweep):
+        out = format_series(sweep, "upper_bound")
+        assert "ratio" not in out.splitlines()[0] or True  # renders fine
+
+
+class TestCSV:
+    def test_roundtrip(self, sweep):
+        payload = sweep_to_csv(sweep)
+        rows = list(csv.DictReader(io.StringIO(payload)))
+        assert len(rows) == len(sweep.records)
+        first = rows[0]
+        assert first["algorithm"] == "hf"
+        assert float(first["avg"]) >= 1.0
+        assert int(first["n"]) in (32, 64, 100)
+
+    def test_all_columns_present(self, sweep):
+        header = sweep_to_csv(sweep).splitlines()[0].split(",")
+        assert set(header) >= {"algorithm", "n", "ub", "min", "avg", "max", "var"}
+
+
+class TestAsciiChart:
+    def test_marks_unique_even_with_prefix_names(self):
+        out = ascii_chart(
+            {"ba": [1.0, 2.0], "bahf": [2.0, 3.0], "hf": [1.5, 1.6]},
+            ["5", "6"],
+        )
+        legend = out.splitlines()[-1]
+        assert "B=ba" in legend
+        assert "A=bahf" in legend
+        assert "H=hf" in legend
+
+    def test_title_included(self):
+        out = ascii_chart({"hf": [1.0, 2.0]}, ["a", "b"], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_flat_series_no_crash(self):
+        ascii_chart({"x": [1.0, 1.0, 1.0]}, ["1", "2", "3"])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"x": [1.0]}, ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({}, [])

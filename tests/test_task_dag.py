@@ -1,0 +1,120 @@
+"""Unit tests for series-parallel task-DAG problems."""
+
+import pytest
+
+from repro.core import run_ba, run_hf
+from repro.problems import Parallel, Series, Task, TaskDagProblem, random_task_dag
+
+
+def sample_dag():
+    """Series(Task(2), Parallel(Task(3), Task(1)), Task(2))"""
+    return Series(
+        (
+            Task(2.0),
+            Parallel((Task(3.0), Task(1.0))),
+            Task(2.0),
+        )
+    )
+
+
+class TestNodes:
+    def test_work_is_additive(self):
+        assert sample_dag().work == pytest.approx(8.0)
+
+    def test_count_tasks(self):
+        assert sample_dag().count_tasks() == 4
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task(0.0)
+
+    def test_composition_needs_two_children(self):
+        with pytest.raises(ValueError):
+            Series((Task(1.0),))
+        with pytest.raises(ValueError):
+            Parallel((Task(1.0),))
+
+
+class TestBisection:
+    def test_weight_and_tasks_conserved(self):
+        p = TaskDagProblem(sample_dag())
+        a, b = p.bisect()
+        assert a.weight + b.weight == pytest.approx(p.weight)
+        assert a.n_tasks + b.n_tasks == p.n_tasks
+
+    def test_series_split_is_contiguous_and_balanced(self):
+        # Series(2, 4, 2): the best cut is after the second child (6|2) or
+        # (2|6)?  cut positions give |2-4|=2 and |6-4|=2 -> first best kept
+        p = TaskDagProblem(
+            Series((Task(2.0), Task(4.0), Task(2.0)))
+        )
+        a, b = p.bisect()
+        assert sorted([a.weight, b.weight]) == pytest.approx([2.0, 6.0])
+
+    def test_parallel_split_balances(self):
+        p = TaskDagProblem(
+            Parallel((Task(5.0), Task(3.0), Task(3.0), Task(1.0)))
+        )
+        a, b = p.bisect()
+        assert sorted([a.weight, b.weight]) == pytest.approx([6.0, 6.0])
+
+    def test_single_child_group_collapses(self):
+        p = TaskDagProblem(Parallel((Task(9.0), Task(1.0))))
+        a, b = p.bisect()
+        # each side is a bare Task, not a 1-child Parallel
+        assert isinstance(a.root, Task) and isinstance(b.root, Task)
+
+    def test_atomic_task_rejected(self):
+        p = TaskDagProblem(Task(1.0))
+        assert not p.can_bisect
+        with pytest.raises(ValueError, match="atomic"):
+            p.bisect()
+
+    def test_deterministic(self):
+        a1, _ = TaskDagProblem(sample_dag()).bisect()
+        a2, _ = TaskDagProblem(sample_dag()).bisect()
+        assert a1.weight == pytest.approx(a2.weight)
+
+
+class TestGenerator:
+    def test_task_count_exact(self):
+        for n in (1, 2, 9, 64, 300):
+            assert random_task_dag(n, seed=1).n_tasks == n
+
+    def test_weight_positive(self):
+        assert random_task_dag(50, seed=2).weight > 0
+
+    def test_reproducible(self):
+        assert random_task_dag(40, seed=3).weight == pytest.approx(
+            random_task_dag(40, seed=3).weight
+        )
+
+    def test_bias_extremes(self):
+        all_series = random_task_dag(30, seed=4, parallel_bias=0.0)
+        all_parallel = random_task_dag(30, seed=4, parallel_bias=1.0)
+        assert isinstance(all_series.root, (Series, Task))
+        assert isinstance(all_parallel.root, (Parallel, Task))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_task_dag(0)
+        with pytest.raises(ValueError):
+            random_task_dag(5, parallel_bias=1.5)
+        with pytest.raises(ValueError):
+            random_task_dag(5, fanout=1)
+        with pytest.raises(ValueError):
+            random_task_dag(5, cost_spread=0.9)
+
+
+class TestEndToEnd:
+    def test_hf_partitions_dag(self):
+        p = random_task_dag(500, seed=5)
+        part = run_hf(p, 16)
+        part.validate()
+        assert sum(piece.n_tasks for piece in part.pieces) == 500
+
+    def test_ba_partitions_dag(self):
+        p = random_task_dag(500, seed=6)
+        part = run_ba(p, 12)
+        part.validate()
+        assert part.ratio < 12

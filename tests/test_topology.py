@@ -1,0 +1,111 @@
+"""Unit tests for interconnect topologies and topology-aware sends."""
+
+import pytest
+
+from repro.simulator import (
+    CompleteTopology,
+    HypercubeTopology,
+    Machine,
+    MachineConfig,
+    Mesh2DTopology,
+    RingTopology,
+)
+
+
+class TestCompleteTopology:
+    def test_all_pairs_one_hop(self):
+        topo = CompleteTopology(5)
+        for a in range(1, 6):
+            for b in range(1, 6):
+                assert topo.distance(a, b) == (0 if a == b else 1)
+
+    def test_diameter(self):
+        assert CompleteTopology(8).diameter() == 1
+        assert CompleteTopology(1).diameter() == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CompleteTopology(4).distance(0, 1)
+        with pytest.raises(ValueError):
+            CompleteTopology(4).distance(1, 5)
+
+
+class TestHypercubeTopology:
+    def test_distance_is_hamming(self):
+        topo = HypercubeTopology(8)
+        # ids 1..8 -> binary 000..111
+        assert topo.distance(1, 2) == 1  # 000 vs 001
+        assert topo.distance(1, 8) == 3  # 000 vs 111
+        assert topo.distance(4, 7) == 2  # 011 vs 110
+
+    def test_diameter_is_log2(self):
+        assert HypercubeTopology(16).diameter() == 4
+        assert HypercubeTopology(2).diameter() == 1
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            HypercubeTopology(12)
+
+    def test_symmetric(self):
+        topo = HypercubeTopology(16)
+        for a in range(1, 17):
+            for b in range(1, 17):
+                assert topo.distance(a, b) == topo.distance(b, a)
+
+
+class TestMesh2DTopology:
+    def test_manhattan_distance(self):
+        topo = Mesh2DTopology(9)  # 3x3
+        assert topo.distance(1, 2) == 1
+        assert topo.distance(1, 9) == 4  # (0,0) -> (2,2)
+        assert topo.distance(1, 5) == 2
+
+    def test_diameter_sqrt_scale(self):
+        assert Mesh2DTopology(16).diameter() == 6  # 4x4: 3+3
+        assert Mesh2DTopology(64).diameter() == 14
+
+    def test_non_square_counts(self):
+        topo = Mesh2DTopology(7)  # 2 cols? isqrt(7)=2 -> 2x4
+        assert topo.diameter() >= 3
+
+
+class TestRingTopology:
+    def test_cyclic_distance(self):
+        topo = RingTopology(10)
+        assert topo.distance(1, 2) == 1
+        assert topo.distance(1, 10) == 1  # wraparound
+        assert topo.distance(1, 6) == 5
+        assert topo.distance(2, 8) == 4
+
+    def test_diameter_half_n(self):
+        assert RingTopology(10).diameter() == 5
+        assert RingTopology(9).diameter() == 4
+
+
+class TestTopologyAwareSends:
+    def test_send_cost_scales_with_hops(self):
+        cfg = MachineConfig(topology=RingTopology, t_hop=2.0)
+        m = Machine(8, cfg)
+        assert m.send_cost(1, 2) == pytest.approx(1.0)  # 1 hop: base only
+        assert m.send_cost(1, 5) == pytest.approx(1.0 + 2.0 * 3)  # 4 hops
+
+    def test_default_is_unit_send(self):
+        m = Machine(8)
+        assert m.send_cost(1, 5) == pytest.approx(1.0)
+
+    def test_total_hops_accumulated(self):
+        cfg = MachineConfig(topology=RingTopology, t_hop=1.0)
+        m = Machine(8, cfg)
+        m.send(1, 5, 0.0)  # 4 hops
+        m.send(1, 2, 10.0)  # 1 hop
+        assert m.total_hops == 5
+
+    def test_hops_default_one_per_message(self):
+        m = Machine(8)
+        m.send(1, 5, 0.0)
+        m.send(1, 2, 10.0)
+        assert m.total_hops == 2
+
+    def test_negative_t_hop_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(t_hop=-1.0)

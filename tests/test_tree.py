@@ -1,0 +1,140 @@
+"""Unit tests for bisection trees."""
+
+import pytest
+
+from repro.core import run_hf
+from repro.core.tree import BisectionNode, BisectionTree
+from repro.problems import FixedAlpha, SyntheticProblem
+
+
+def small_tree():
+    """root(1.0) -> [0.6 -> [0.36, 0.24], 0.4]"""
+    root = BisectionNode(weight=1.0)
+    a = BisectionNode(weight=0.6)
+    b = BisectionNode(weight=0.4)
+    root.add_children(a, b)
+    a.add_children(BisectionNode(weight=0.36), BisectionNode(weight=0.24))
+    return BisectionTree(root)
+
+
+class TestNode:
+    def test_add_children_sets_depth(self):
+        t = small_tree()
+        a, b = t.root.children
+        assert a.depth == 1 and b.depth == 1
+        assert a.children[0].depth == 2
+
+    def test_double_bisection_rejected(self):
+        root = BisectionNode(weight=1.0)
+        root.add_children(BisectionNode(weight=0.5), BisectionNode(weight=0.5))
+        with pytest.raises(ValueError):
+            root.add_children(BisectionNode(weight=0.1), BisectionNode(weight=0.1))
+
+    def test_preorder_iteration(self):
+        t = small_tree()
+        weights = [n.weight for n in t.root]
+        assert weights == [1.0, 0.6, 0.36, 0.24, 0.4]
+
+    def test_is_leaf(self):
+        t = small_tree()
+        assert not t.root.is_leaf
+        assert t.root.children[1].is_leaf
+
+
+class TestTreeQueries:
+    def test_leaf_count_and_bisections(self):
+        t = small_tree()
+        assert t.num_leaves == 3
+        assert t.num_bisections == 2
+
+    def test_leaves_left_to_right(self):
+        t = small_tree()
+        assert [n.weight for n in t.leaves()] == [0.36, 0.24, 0.4]
+
+    def test_height_and_min_depth(self):
+        t = small_tree()
+        assert t.height == 2
+        assert t.min_leaf_depth == 1
+
+    def test_max_leaf_weight(self):
+        assert small_tree().max_leaf_weight() == pytest.approx(0.4)
+
+    def test_single_node_tree(self):
+        t = BisectionTree.single(2.0)
+        assert t.num_leaves == 1
+        assert t.num_bisections == 0
+        assert t.height == 0
+
+    def test_depth_histogram(self):
+        assert small_tree().depth_histogram() == {1: 1, 2: 2}
+
+    def test_observed_alphas(self):
+        alphas = small_tree().observed_alphas()
+        assert alphas == [pytest.approx(0.4), pytest.approx(0.4)]
+
+    def test_min_observed_alpha(self):
+        assert small_tree().min_observed_alpha() == pytest.approx(0.4)
+
+    def test_min_observed_alpha_requires_bisections(self):
+        with pytest.raises(ValueError):
+            BisectionTree.single(1.0).min_observed_alpha()
+
+
+class TestValidate:
+    def test_valid_tree_passes(self):
+        small_tree().validate()
+
+    def test_weight_conservation_enforced(self):
+        root = BisectionNode(weight=1.0)
+        root.add_children(BisectionNode(weight=0.7), BisectionNode(weight=0.4))
+        with pytest.raises(ValueError, match="conserved"):
+            BisectionTree(root).validate()
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            BisectionTree(BisectionNode(weight=0.0)).validate()
+
+    def test_single_child_rejected(self):
+        root = BisectionNode(weight=1.0)
+        root.children.append(BisectionNode(weight=1.0, depth=1))
+        with pytest.raises(ValueError, match="children"):
+            BisectionTree(root).validate()
+
+    def test_wrong_depth_rejected(self):
+        root = BisectionNode(weight=1.0)
+        root.add_children(BisectionNode(weight=0.5), BisectionNode(weight=0.5))
+        root.children[0].depth = 5
+        with pytest.raises(ValueError, match="depth"):
+            BisectionTree(root).validate()
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        t = small_tree()
+        t2 = BisectionTree.from_dict(t.to_dict())
+        assert [n.weight for n in t2.root] == [n.weight for n in t.root]
+        assert t2.height == t.height
+        t2.validate()
+
+    def test_algorithm_tree_roundtrips(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=1)
+        part = run_hf(p, 16, record_tree=True)
+        t2 = BisectionTree.from_dict(part.tree.to_dict())
+        assert sorted(t2.leaf_weights()) == pytest.approx(
+            sorted(part.tree.leaf_weights())
+        )
+
+
+class TestRender:
+    def test_render_contains_all_leaves(self):
+        out = small_tree().render()
+        for w in ("0.36", "0.24", "0.4"):
+            assert w in out
+
+    def test_render_max_depth_truncates(self):
+        out = small_tree().render(max_depth=1)
+        assert "..." in out
+
+    def test_render_custom_formatter(self):
+        out = small_tree().render(fmt=lambda n: f"<{n.depth}>")
+        assert "<0>" in out and "<2>" in out

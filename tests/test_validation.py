@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.validation."""
+
+import pytest
+
+from repro.core import (
+    Partition,
+    assert_partition_within_bound,
+    probe_bisector_quality,
+    run_ba,
+    run_hf,
+)
+from repro.problems import FixedAlpha, ListProblem, SyntheticProblem, UniformAlpha
+
+
+class TestProbe:
+    def test_fixed_alpha_probe_exact(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        report = probe_bisector_quality(p, max_nodes=100)
+        assert report.min_alpha == pytest.approx(0.3)
+        assert report.max_alpha == pytest.approx(0.3)
+        assert report.max_conservation_error < 1e-12
+        assert report.n_bisections > 0
+
+    def test_uniform_alpha_within_interval(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.2, 0.4), seed=1)
+        report = probe_bisector_quality(p, max_nodes=200)
+        assert 0.2 <= report.min_alpha <= report.max_alpha <= 0.4
+
+    def test_supports_guarantee(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        report = probe_bisector_quality(p, max_nodes=64)
+        assert report.supports(0.3)
+        assert report.supports(0.29)
+        assert not report.supports(0.31)
+
+    def test_respects_max_nodes(self):
+        p = SyntheticProblem(1.0, UniformAlpha(0.3, 0.5), seed=2)
+        report = probe_bisector_quality(p, max_nodes=10, min_weight=0.0)
+        assert report.n_bisections == 10
+
+    def test_min_weight_stops_expansion(self):
+        p = ListProblem.uniform(8, seed=0)
+        # lists stop at single elements; min_weight keeps the probe legal
+        report = probe_bisector_quality(p, max_nodes=1000, min_weight=2.0)
+        assert report.n_bisections >= 1
+
+    def test_rejects_bad_max_nodes(self):
+        p = SyntheticProblem(1.0, FixedAlpha(0.3), seed=0)
+        with pytest.raises(ValueError):
+            probe_bisector_quality(p, max_nodes=0)
+
+
+class TestAssertWithinBound:
+    def test_real_runs_pass(self, wide_sampler):
+        p = SyntheticProblem(1.0, wide_sampler, seed=3)
+        alpha = wide_sampler.alpha
+        bound = assert_partition_within_bound(run_hf(p, 64), alpha)
+        assert bound > 1.0
+        assert_partition_within_bound(run_ba(p, 64), alpha)
+
+    def test_doctored_partition_fails(self):
+        # a grossly imbalanced "hf" partition must violate Theorem 2
+        pieces = [
+            SyntheticProblem(0.97, FixedAlpha(0.3), seed=0),
+        ] + [SyntheticProblem(0.01, FixedAlpha(0.3), seed=i) for i in range(1, 4)]
+        part = Partition(
+            pieces=pieces, total_weight=1.0, n_processors=4, algorithm="hf"
+        )
+        with pytest.raises(AssertionError, match="exceeds"):
+            assert_partition_within_bound(part, 1 / 3)

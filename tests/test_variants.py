@@ -1,0 +1,84 @@
+"""Unit tests for the selection-strategy ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.hf import hf_final_weights
+from repro.core.variants import SELECTION_STRATEGIES, selection_final_weights
+
+
+def draws(n, seed=0, lo=0.1, hi=0.5):
+    return np.random.default_rng(seed).uniform(lo, hi, size=n)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("strategy", SELECTION_STRATEGIES)
+    def test_conservation_and_count(self, strategy):
+        d = draws(63, seed=1)
+        w = selection_final_weights(
+            strategy, 2.0, 64, d, rng=np.random.default_rng(9)
+        )
+        assert len(w) == 64
+        assert w.sum() == pytest.approx(2.0)
+        assert (w > 0).all()
+
+    def test_heaviest_matches_hf(self):
+        d = draws(99, seed=2)
+        a = sorted(selection_final_weights("heaviest", 1.0, 100, d))
+        b = sorted(hf_final_weights(1.0, 100, d))
+        assert a == pytest.approx(b)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            selection_final_weights("greedy", 1.0, 4, draws(3))
+
+    def test_random_needs_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            selection_final_weights("random", 1.0, 4, draws(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            selection_final_weights("oldest", 0.0, 4, draws(3))
+        with pytest.raises(ValueError):
+            selection_final_weights("oldest", 1.0, 0, draws(3))
+        with pytest.raises(ValueError):
+            selection_final_weights("oldest", 1.0, 10, draws(3))
+
+
+class TestQualityOrdering:
+    def test_heaviest_beats_lightest_badly(self):
+        # lightest-first never touches the heavy piece: ratio ~ N * w_max
+        ratios = {}
+        for strategy in ("heaviest", "lightest"):
+            rs = []
+            for seed in range(30):
+                d = draws(63, seed=seed)
+                w = selection_final_weights(strategy, 1.0, 64, d)
+                rs.append(w.max() * 64)
+            ratios[strategy] = np.mean(rs)
+        assert ratios["lightest"] > 5 * ratios["heaviest"]
+
+    def test_heaviest_beats_random_and_oldest(self):
+        means = {}
+        rng = np.random.default_rng(77)
+        for strategy in ("heaviest", "random", "oldest"):
+            rs = []
+            for seed in range(40):
+                d = draws(127, seed=seed)
+                w = selection_final_weights(strategy, 1.0, 128, d, rng=rng)
+                rs.append(w.max() * 128)
+            means[strategy] = np.mean(rs)
+        assert means["heaviest"] < means["oldest"]
+        assert means["heaviest"] < means["random"]
+
+    def test_lightest_degenerates_linearly(self):
+        # the heaviest original child is never split again
+        d = np.full(63, 0.3)
+        w = selection_final_weights("lightest", 1.0, 64, d)
+        assert w.max() == pytest.approx(0.7)  # first split's heavy side
+
+    def test_oldest_is_breadth_first(self):
+        # with even splits, oldest-first yields a perfect tree like HF
+        d = np.full(63, 0.5)
+        w = selection_final_weights("oldest", 1.0, 64, d)
+        assert np.allclose(w, 1 / 64)

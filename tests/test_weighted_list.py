@@ -1,0 +1,94 @@
+"""Unit tests for ListProblem (random-pivot list bisection)."""
+
+import numpy as np
+import pytest
+
+from repro.problems import ListProblem
+
+
+class TestConstruction:
+    def test_uniform_factory(self):
+        p = ListProblem.uniform(10, seed=0)
+        assert p.n_elements == 10
+        assert p.weight == pytest.approx(10.0)
+
+    def test_random_factory(self):
+        p = ListProblem.random(50, seed=1, spread=3.0)
+        assert p.n_elements == 50
+        assert (p.elements >= 1.0 - 1e-12).all()
+        assert (p.elements <= 3.0 + 1e-12).all()
+
+    def test_explicit_weights(self):
+        p = ListProblem([1.0, 2.0, 3.0], seed=0)
+        assert p.weight == pytest.approx(6.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ListProblem([])
+
+    def test_rejects_nonpositive_elements(self):
+        with pytest.raises(ValueError):
+            ListProblem([1.0, 0.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ListProblem(np.ones((2, 2)))
+
+    def test_elements_read_only(self):
+        p = ListProblem.uniform(5, seed=0)
+        with pytest.raises(ValueError):
+            p.elements[0] = 99.0
+
+    def test_factory_validation(self):
+        with pytest.raises(ValueError):
+            ListProblem.uniform(0)
+        with pytest.raises(ValueError):
+            ListProblem.random(5, spread=0.5)
+
+
+class TestBisection:
+    def test_split_is_contiguous_and_conserving(self):
+        p = ListProblem([1.0, 2.0, 3.0, 4.0, 5.0], seed=3)
+        a, b = p.bisect()
+        assert a.weight + b.weight == pytest.approx(p.weight)
+        assert a.n_elements + b.n_elements == 5
+        # contiguity: concatenated elements reproduce the original
+        lighter, heavier = (a, b) if a.weight < b.weight else (b, a)
+        combined = sorted(np.concatenate([a.elements, b.elements]))
+        assert combined == pytest.approx(sorted(p.elements))
+
+    def test_both_sides_nonempty(self):
+        for seed in range(20):
+            p = ListProblem.uniform(7, seed=seed)
+            a, b = p.bisect()
+            assert a.n_elements >= 1 and b.n_elements >= 1
+
+    def test_single_element_is_atomic(self):
+        p = ListProblem([2.0], seed=0)
+        assert not p.can_bisect
+        with pytest.raises(ValueError, match="single-element"):
+            p.bisect()
+
+    def test_two_elements_split_one_one(self):
+        p = ListProblem([1.0, 2.0], seed=0)
+        a, b = p.bisect()
+        assert {a.n_elements, b.n_elements} == {1}
+
+    def test_deterministic(self):
+        a = ListProblem.uniform(100, seed=9).bisect()[0].n_elements
+        b = ListProblem.uniform(100, seed=9).bisect()[0].n_elements
+        assert a == b
+
+    def test_pivot_distribution_roughly_uniform(self):
+        # the paper's justification for alpha-hat ~ U: for unit weights the
+        # lighter share of a random pivot split is ~ U(0, 1/2]
+        shares = []
+        for seed in range(4000):
+            p = ListProblem.uniform(1000, seed=seed)
+            shares.append(p.observed_alpha())
+        shares = np.array(shares)
+        # mean of U(0, 0.5] is 0.25
+        assert shares.mean() == pytest.approx(0.25, abs=0.01)
+        # roughly equal mass in each of 5 bins of (0, 0.5]
+        hist, _ = np.histogram(shares, bins=5, range=(0.0, 0.5))
+        assert hist.min() > 0.7 * hist.max()
