@@ -15,12 +15,18 @@ from repro.core.problem import BisectableProblem, bisection_respects_alpha, chec
 from repro.core.tree import BisectionNode, BisectionTree
 from repro.core.partition import Partition
 from repro.core.metrics import (
+    RatioAccumulator,
     RatioSample,
     idle_fraction,
     imbalance,
     normalized_std,
     ratio,
     summarize_ratios,
+)
+from repro.core.batch import (
+    ba_final_weights_batch,
+    bahf_final_weights_batch,
+    hf_final_weights_batch,
 )
 from repro.core.bounds import (
     ba_bound,
@@ -98,6 +104,7 @@ __all__ = [
     "BisectionTree",
     "Partition",
     # metrics
+    "RatioAccumulator",
     "RatioSample",
     "idle_fraction",
     "imbalance",
@@ -118,6 +125,9 @@ __all__ = [
     # algorithms
     "run_hf",
     "hf_final_weights",
+    "hf_final_weights_batch",
+    "ba_final_weights_batch",
+    "bahf_final_weights_batch",
     "hf_trace",
     "run_ba",
     "run_ba_prime",

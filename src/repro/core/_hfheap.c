@@ -1,0 +1,87 @@
+/* Hold-back 8-ary max-heap kernel for batched HF trials.
+ *
+ * One call advances a whole batch: trial i reads its alpha-hat draws from
+ * row i of `draws` and writes its N final weights into row i of `out`.
+ * The heap lives directly in the output row (slots 0..n-2); the running
+ * maximum is held back in a register and written to slot n-1 at the end.
+ *
+ * Exactness contract: children are computed as a*w and (1.0-a)*w -- the
+ * same IEEE-754 operations, in the same order, as the scalar Python fast
+ * path -- and heap ordering only permutes equal-weight pops, which leaves
+ * the final weight multiset unchanged.  Must NOT be compiled with
+ * -ffast-math or the products may be contracted/reassociated.
+ */
+
+static void hf_one(const double *draws, double *heap, double w0, long n)
+{
+    double cur = w0;
+    long size = 0;
+    long k;
+
+    for (k = 0; k < n - 1; ++k) {
+        double a = draws[k];
+        double c1 = a * cur;
+        double c2 = (1.0 - a) * cur;
+        double big, small;
+        long i;
+
+        if (c1 > c2) {
+            big = c1;
+            small = c2;
+        } else {
+            big = c2;
+            small = c1;
+        }
+
+        /* Push the small child. */
+        i = size++;
+        while (i > 0) {
+            long p = (i - 1) >> 3;
+            if (heap[p] >= small)
+                break;
+            heap[i] = heap[p];
+            i = p;
+        }
+        heap[i] = small;
+
+        /* The big child usually stays the maximum; otherwise swap it
+         * with the root and sift it down (8-ary: depth ~log8 N). */
+        if (big >= heap[0]) {
+            cur = big;
+            continue;
+        }
+        cur = heap[0];
+        i = 0;
+        for (;;) {
+            long c = 8 * i + 1;
+            long end, m, j;
+            double mw;
+
+            if (c >= size)
+                break;
+            end = (c + 8 < size) ? c + 8 : size;
+            m = c;
+            mw = heap[c];
+            for (j = c + 1; j < end; ++j) {
+                if (heap[j] > mw) {
+                    mw = heap[j];
+                    m = j;
+                }
+            }
+            if (mw <= big)
+                break;
+            heap[i] = mw;
+            i = m;
+        }
+        heap[i] = big;
+    }
+    heap[n - 1] = cur;
+}
+
+void repro_hf_batch(const double *draws, long draws_stride,
+                    const double *w0, double *out, long n_trials, long n)
+{
+    long i;
+    for (i = 0; i < n_trials; ++i)
+        hf_one(draws + i * draws_stride, out + i * n, w0[i], n);
+}

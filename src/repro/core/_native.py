@@ -1,0 +1,157 @@
+"""Optional C fast path for the batched HF kernel.
+
+The lockstep NumPy heap in :mod:`repro.core.batch` is exact but
+memory-bound: every bisection pays a few fancy-indexed gathers across the
+whole batch, which caps it near the scalar ``heapq`` loop at large N.
+The per-trial heap loop itself is ~60 lines of C, so this module compiles
+:file:`_hfheap.c` on demand with whatever system compiler is available
+(``cc``/``gcc``/``clang``) and loads it through :mod:`ctypes` -- no build
+step, no new Python dependency.
+
+Everything here degrades gracefully: if there is no compiler, the build
+fails, or ``REPRO_NO_NATIVE`` is set in the environment, callers get
+``None``/``False`` and fall back to the pure-NumPy kernels.  The shared
+object is cached under the system temp directory, keyed by a hash of the
+source text, so it compiles once per machine, not once per process.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["hf_batch_native", "native_available"]
+
+_SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_hfheap.c")
+_LIB_BASENAME = "libreprohfheap.so"
+
+_lock = threading.Lock()
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+
+
+def _disabled() -> bool:
+    return os.environ.get("REPRO_NO_NATIVE", "") not in ("", "0", "false", "no")
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir(source: bytes) -> str:
+    uid = getattr(os, "getuid", lambda: 0)()
+    digest = hashlib.sha256(source + sys.platform.encode()).hexdigest()[:16]
+    return os.path.join(tempfile.gettempdir(), f"repro-hfheap-{uid}-{digest}")
+
+
+def _build() -> Optional[ctypes.CDLL]:
+    """Compile (if needed), load, and type-check the shared library."""
+    with open(_SOURCE_PATH, "rb") as fh:
+        source = fh.read()
+    cache_dir = _cache_dir(source)
+    lib_path = os.path.join(cache_dir, _LIB_BASENAME)
+    if not os.path.exists(lib_path):
+        compiler = _find_compiler()
+        if compiler is None:
+            return None
+        os.makedirs(cache_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+        os.close(fd)
+        try:
+            # -O2 with contraction off: -ffast-math or FMA contraction
+            # would break bit-exactness vs the scalar path (see the
+            # contract in _hfheap.c).
+            subprocess.run(
+                [
+                    compiler,
+                    "-O2",
+                    "-std=c99",
+                    "-ffp-contract=off",
+                    "-shared",
+                    "-fPIC",
+                    "-o",
+                    tmp_path,
+                    _SOURCE_PATH,
+                ],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, lib_path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+    lib = ctypes.CDLL(lib_path)
+    fn = lib.repro_hf_batch
+    fn.restype = None
+    fn.argtypes = [
+        ctypes.POINTER(ctypes.c_double),  # draws
+        ctypes.c_long,  # draws row stride (elements)
+        ctypes.POINTER(ctypes.c_double),  # w0
+        ctypes.POINTER(ctypes.c_double),  # out
+        ctypes.c_long,  # n_trials
+        ctypes.c_long,  # n
+    ]
+    return lib
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    global _lib, _load_attempted
+    if _disabled():
+        return None
+    if _load_attempted:
+        return _lib
+    with _lock:
+        if not _load_attempted:
+            try:
+                _lib = _build()
+            except Exception:
+                _lib = None
+            _load_attempted = True
+    return _lib
+
+
+def native_available() -> bool:
+    """True when the compiled HF kernel can be used on this machine."""
+    return _load() is not None
+
+
+def hf_batch_native(
+    w0: np.ndarray, n: int, draws: np.ndarray
+) -> Optional[np.ndarray]:
+    """Run the compiled HF kernel, or return ``None`` if unavailable.
+
+    ``w0`` is the per-trial initial weight vector and ``draws`` the
+    ``(n_trials, >= n-1)`` alpha-hat matrix; returns the ``(n_trials, n)``
+    final-weight table (same multiset per row as the scalar loop).
+    """
+    lib = _load()
+    if lib is None:
+        return None
+    draws_c = np.ascontiguousarray(draws, dtype=np.float64)
+    w0_c = np.ascontiguousarray(w0, dtype=np.float64)
+    n_trials = w0_c.shape[0]
+    out = np.empty((n_trials, n), dtype=np.float64)
+    as_ptr = lambda arr: arr.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+    lib.repro_hf_batch(
+        as_ptr(draws_c),
+        ctypes.c_long(draws_c.shape[1] if draws_c.ndim == 2 else 0),
+        as_ptr(w0_c),
+        as_ptr(out),
+        ctypes.c_long(n_trials),
+        ctypes.c_long(n),
+    )
+    return out

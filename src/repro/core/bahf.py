@@ -154,6 +154,9 @@ def bahf_final_weights(
     if initial_weight <= 0:
         raise ValueError(f"initial_weight must be positive, got {initial_weight}")
     threshold = bahf_threshold(alpha, lam)
+    # DrawStream-like callables expose a bulk ``take`` that avoids
+    # per-draw float boxing; plain callables keep working.
+    take = getattr(draw_alpha, "take", None)
     out: List[float] = []
     stack: List[Tuple[float, int]] = [(float(initial_weight), n_processors)]
     while stack:
@@ -162,7 +165,10 @@ def bahf_final_weights(
             if n == 1:
                 out.append(w)
             else:
-                draws = np.array([draw_alpha() for _ in range(n - 1)])
+                if take is not None:
+                    draws = take(n - 1)
+                else:
+                    draws = np.array([draw_alpha() for _ in range(n - 1)])
                 out.extend(hf_final_weights(w, n, draws).tolist())
             continue
         a = draw_alpha()

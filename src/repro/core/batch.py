@@ -1,0 +1,465 @@
+"""Batched (many-trials-at-once) Monte-Carlo kernels -- Section 4 at scale.
+
+The scalar fast paths (:func:`repro.core.hf.hf_final_weights`,
+:func:`repro.core.ba.ba_final_weights`,
+:func:`repro.core.bahf.bahf_final_weights`) spend almost all of their time
+in per-bisection Python bookkeeping: a ``heapq`` op or an explicit-stack
+push costs microseconds of interpreter overhead for nanoseconds of float
+arithmetic.  The paper's simulation study needs 1000 trials per
+(algorithm, N) cell up to N = 2^16, so this module re-formulates all
+three kernels to advance *every trial of a batch* by one bisection (or
+one recursion level) per vectorized NumPy step:
+
+* :func:`hf_final_weights_batch` -- HF over a ``(n_trials, N)`` weight
+  table.  Two interchangeable formulations: an **argmax frontier** (one
+  row-wise ``argmax`` per bisection; O(N) elements scanned per trial per
+  step, unbeatable constants for small N) and an **array heap** (a binary
+  max-heap per trial laid out in the rows of one array, with masked
+  vectorized sift-down/sift-up across trials; O(log N) vector steps per
+  bisection, the winner for large N).  Both produce the same final-weight
+  multiset as the scalar ``heapq`` loop -- equal-weight ties may pop in a
+  different order, but swapping the pop order of equal weights provably
+  leaves the resulting weight multiset unchanged.
+
+* :func:`ba_final_weights_batch` / :func:`bahf_final_weights_batch` --
+  level-order frontier vectorization of the BA recursion: each step
+  splits *all* active ``(weight, n)`` nodes of all trials at once.  The
+  scalar paths consume one α̂ draw per bisection in DFS pre-order; a node
+  that owns ``n`` processors consumes exactly ``n - 1`` draws in its
+  subtree, so the DFS draw index of every node can be computed
+  *analytically* during the level-order sweep (root at offset ``o`` uses
+  draw ``o``; its heavier child starts at ``o + 1``, the lighter one at
+  ``o + n1``).  Every leaf weight is therefore bit-identical to the
+  scalar recursion fed by the same draw stream.
+
+All kernels take the draws as an explicit ``(n_trials, >= N-1)`` matrix
+(see :meth:`repro.problems.samplers.AlphaSampler.sample_trial_matrix`),
+which keeps the per-trial RNG derivation -- and hence reproducibility
+across chunked/parallel schedules -- outside the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core import _native
+from repro.core.bahf import bahf_threshold
+
+__all__ = [
+    "hf_final_weights_batch",
+    "ba_final_weights_batch",
+    "bahf_final_weights_batch",
+]
+
+#: Below this N the argmax frontier beats the array heap (fewer, larger
+#: NumPy calls); above it the heap's O(log N) vector steps win.
+HEAP_MIN_N = 128
+
+
+# ----------------------------------------------------------------------
+# Input validation helpers
+# ----------------------------------------------------------------------
+
+
+def _as_draw_matrix(alpha_draws, n_needed: int) -> np.ndarray:
+    draws = np.asarray(alpha_draws, dtype=np.float64)
+    if draws.ndim != 2:
+        raise ValueError(
+            f"alpha_draws must be 2-D (n_trials, n_draws), got shape {draws.shape}"
+        )
+    if draws.shape[1] < n_needed:
+        raise ValueError(
+            f"need {n_needed} alpha draws per trial, got {draws.shape[1]}"
+        )
+    return draws
+
+
+def _as_initial_weights(initial_weight, n_trials: int) -> np.ndarray:
+    w0 = np.asarray(initial_weight, dtype=np.float64)
+    if w0.ndim == 0:
+        w0 = np.full(n_trials, float(w0))
+    if w0.shape != (n_trials,):
+        raise ValueError(
+            f"initial_weight must be scalar or shape ({n_trials},), got {w0.shape}"
+        )
+    if np.any(w0 <= 0):
+        raise ValueError("initial weights must be positive")
+    return w0
+
+
+# ----------------------------------------------------------------------
+# HF: argmax frontier
+# ----------------------------------------------------------------------
+
+
+def _hf_frontier(w0: np.ndarray, n: int, draws: np.ndarray) -> np.ndarray:
+    """One row-wise argmax per bisection over the active weight prefix."""
+    n_trials = w0.shape[0]
+    weights = np.empty((n_trials, n), dtype=np.float64)
+    weights[:, 0] = w0
+    rows = np.arange(n_trials)
+    for k in range(n - 1):
+        heaviest = np.argmax(weights[:, : k + 1], axis=1)
+        w = weights[rows, heaviest]
+        a = draws[:, k]
+        weights[rows, heaviest] = a * w
+        weights[:, k + 1] = (1.0 - a) * w
+    return weights
+
+
+# ----------------------------------------------------------------------
+# HF: array heap (one binary max-heap per row, sifted across trials)
+# ----------------------------------------------------------------------
+
+
+#: Heap arity.  A wide heap trades a few more comparisons per level for a
+#: much shallower sift path; with one fancy-indexing round per *level*
+#: (not per comparison), shallow wins decisively in NumPy.
+_HEAP_ARITY = 16
+
+
+def _sift_up_uniform(heap_t: np.ndarray, pos: int) -> None:
+    """Bubble the element just written at slot ``pos`` up, in all trials.
+
+    ``heap_t`` is slot-major ``(slots, trials)``: slot ``pos`` is one
+    contiguous row.  Because every trial inserts at the same slot, the
+    comparison chain uses *uniform* slot indices -- only the set of
+    trials still moving shrinks -- so each level is a handful of
+    contiguous vector ops, and the common case (the new element stays at
+    the bottom) costs a single compare.
+    """
+    child = pos
+    rows: Optional[np.ndarray] = None
+    while child > 0:
+        parent = (child - 1) // _HEAP_ARITY
+        if rows is None:
+            child_w = heap_t[child]
+            parent_w = heap_t[parent]
+            swap = child_w > parent_w
+            if not swap.any():
+                return
+            rows = np.nonzero(swap)[0]
+            moved = child_w[rows]
+            heap_t[child, rows] = parent_w[rows]
+            heap_t[parent, rows] = moved
+        else:
+            child_w = heap_t[child, rows]
+            parent_w = heap_t[parent, rows]
+            swap = child_w > parent_w
+            if not swap.any():
+                return
+            rows = rows[swap]
+            heap_t[child, rows] = parent_w[swap]
+            heap_t[parent, rows] = child_w[swap]
+        child = parent
+
+
+def _sift_down_from_root(
+    heap_t: np.ndarray, rows: np.ndarray, values: np.ndarray, size: int
+) -> None:
+    """Place ``values`` (one per row) dropped into the root slot.
+
+    Carries the sifted value instead of re-reading it, descends per-trial
+    paths level by level, and retires trials as their value settles; the
+    active set shrinks fast because the dropped value (the big child of a
+    recent maximum) ranks high.
+    """
+    if size < 2:
+        heap_t[0, rows] = values
+        return
+    idx = np.zeros(rows.size, dtype=np.intp)
+    offsets = np.arange(_HEAP_ARITY, dtype=np.intp)
+    while True:
+        base = idx * _HEAP_ARITY + 1
+        cols = base[:, None] + offsets
+        in_range = cols < size
+        children = heap_t[np.minimum(cols, size - 1), rows[:, None]]
+        children = np.where(in_range, children, -np.inf)
+        best = np.argmax(children, axis=1)
+        pick = np.arange(rows.size), best
+        child_w = children[pick]
+        move = child_w > values
+        settle = ~move
+        if settle.any():
+            heap_t[idx[settle], rows[settle]] = values[settle]
+        if not move.any():
+            return
+        rows, values = rows[move], values[move]
+        child_slot = cols[pick][move]
+        heap_t[idx[move], rows] = child_w[move]
+        idx = child_slot
+
+
+def _hf_heap(w0: np.ndarray, n: int, draws: np.ndarray) -> np.ndarray:
+    """Hold-back array heap: the running maximum lives outside the heap.
+
+    Each bisection splits ``cur`` (the per-trial maximum) into a big and
+    a small child.  The small child is appended to the heap, where it
+    rarely bubbles past the bottom level; the big child either becomes
+    the next maximum outright or displaces the heap root and pays one
+    (shallow, thanks to the wide arity and its own high rank) sift-down.
+    The heap is stored slot-major ``(slots, trials)`` so per-slot
+    operations are contiguous across the batch.
+    """
+    n_trials = w0.shape[0]
+    heap_t = np.empty((n, n_trials), dtype=np.float64)
+    cur = w0.copy()
+    all_rows = np.arange(n_trials)
+    draws_t = np.ascontiguousarray(draws[:, : n - 1].T)
+    # Samplers guarantee alpha-hat <= 1/2, making the (1-a) child the big
+    # one; fall back to explicit min/max for out-of-convention draws.
+    ordered = bool(np.all(draws_t <= 0.5))
+    for k in range(n - 1):
+        a = draws_t[k]
+        c1 = a * cur
+        c2 = (1.0 - a) * cur
+        if ordered:
+            big, small = c2, c1
+        else:
+            big, small = np.maximum(c1, c2), np.minimum(c1, c2)
+        heap_t[k] = small
+        if k > 0:
+            _sift_up_uniform(heap_t, k)
+        root = heap_t[0]
+        demote = big < root
+        cur = np.where(demote, root, big)
+        if demote.any():
+            rows = all_rows[demote]
+            _sift_down_from_root(heap_t, rows, big[demote], k + 1)
+    heap_t[n - 1] = cur
+    return heap_t.T
+
+
+def hf_final_weights_batch(
+    initial_weight: Union[float, np.ndarray],
+    n_processors: int,
+    alpha_draws,
+    *,
+    method: str = "auto",
+) -> np.ndarray:
+    """Batched :func:`~repro.core.hf.hf_final_weights`.
+
+    ``alpha_draws`` is a ``(n_trials, >= n_processors - 1)`` matrix; row
+    ``t`` supplies trial ``t``'s i.i.d. draws in the order HF consumes
+    them.  ``initial_weight`` may be a scalar (shared) or a per-trial
+    vector.  Returns the ``(n_trials, n_processors)`` final weights
+    (per-row order unspecified; the multiset per row matches the scalar
+    path for the same draws).
+
+    ``method`` is ``"frontier"``, ``"heap"``, ``"native"`` or ``"auto"``.
+    ``"auto"`` uses the frontier for ``n_processors < HEAP_MIN_N`` and the
+    compiled C heap above (falling back to the NumPy heap when no system
+    compiler is available -- see :mod:`repro.core._native`); asking for
+    ``"native"`` explicitly raises if the compiled kernel is unavailable.
+    """
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    draws = _as_draw_matrix(alpha_draws, n_processors - 1)
+    w0 = _as_initial_weights(initial_weight, draws.shape[0])
+    if n_processors == 1:
+        return w0[:, None].copy()
+    if method == "auto":
+        out = _native.hf_batch_native(w0, n_processors, draws)
+        if out is not None:
+            return out
+        method = "frontier" if n_processors < HEAP_MIN_N else "heap"
+    if method == "frontier":
+        return _hf_frontier(w0, n_processors, draws)
+    if method == "heap":
+        return _hf_heap(w0, n_processors, draws)
+    if method == "native":
+        out = _native.hf_batch_native(w0, n_processors, draws)
+        if out is None:
+            raise RuntimeError(
+                "compiled HF kernel unavailable (no system C compiler, the "
+                "build failed, or REPRO_NO_NATIVE is set)"
+            )
+        return out
+    raise ValueError(
+        f"unknown method {method!r} (use 'auto', 'frontier', 'heap' or 'native')"
+    )
+
+
+# ----------------------------------------------------------------------
+# BA / BA-HF: level-order frontier
+# ----------------------------------------------------------------------
+
+
+def _ba_split_vec(
+    w1: np.ndarray, w2: np.ndarray, n: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`repro.core.ba.ba_split` (same float ops)."""
+    eta = n * w1 / (w1 + w2)
+    lo = np.clip(np.floor(eta), 1, n - 1).astype(np.int64)
+    hi = np.clip(np.ceil(eta), 1, n - 1).astype(np.int64)
+    cost_lo = np.maximum(w1 / lo, w2 / (n - lo))
+    cost_hi = np.maximum(w1 / hi, w2 / (n - hi))
+    n1 = np.where(cost_lo <= cost_hi, lo, hi)
+    return n1, n - n1
+
+
+def _split_level(
+    w: np.ndarray, n: np.ndarray, off: np.ndarray, a: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split every node of a frontier level; returns child (w, n, off) pairs.
+
+    Children are ordered heavier-first per node, matching the scalar DFS
+    which pushes the lighter child deeper into the stack.  The heavier
+    child inherits draw offset ``off + 1``, the lighter ``off + n1``
+    (its subtree starts after the heavier sibling's ``n1 - 1`` draws).
+    """
+    w2 = a * w
+    w1 = w - w2
+    flipped = w1 < w2
+    if flipped.any():
+        w1, w2 = np.where(flipped, w2, w1), np.where(flipped, w1, w2)
+    n1, n2 = _ba_split_vec(w1, w2, n)
+    return w1, w2, n1, n2, off + 1
+
+
+def _rows_to_matrix(
+    leaf_trials: List[np.ndarray],
+    leaf_weights: List[np.ndarray],
+    n_trials: int,
+    n_processors: int,
+) -> np.ndarray:
+    """Regroup flat (trial, weight) leaf streams into a (T, N) matrix.
+
+    The sort key is only the trial id, so it is cast to the narrowest
+    integer type that fits: NumPy's stable sort is a radix sort for
+    <= 16-bit integers, which turns the regrouping from the dominant cost
+    of the level-order kernels into noise.
+    """
+    trials = np.concatenate(leaf_trials)
+    weights = np.concatenate(leaf_weights)
+    if n_trials <= np.iinfo(np.int16).max:
+        trials = trials.astype(np.int16)
+    order = np.argsort(trials, kind="stable")
+    return weights[order].reshape(n_trials, n_processors)
+
+
+def ba_final_weights_batch(
+    initial_weight: Union[float, np.ndarray],
+    n_processors: int,
+    alpha_draws,
+) -> np.ndarray:
+    """Batched :func:`~repro.core.ba.ba_final_weights` (no skip threshold).
+
+    Row ``t`` of ``alpha_draws`` supplies the draws the scalar recursion
+    would consume in DFS pre-order; exactly ``n_processors - 1`` are used
+    per trial, and every leaf weight is bit-identical to the scalar path.
+    Returns the ``(n_trials, n_processors)`` final weights (per-row order
+    unspecified).
+    """
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    draws = _as_draw_matrix(alpha_draws, n_processors - 1)
+    n_trials = draws.shape[0]
+    w0 = _as_initial_weights(initial_weight, n_trials)
+    if n_processors == 1:
+        return w0[:, None].copy()
+
+    leaf_trials: List[np.ndarray] = []
+    leaf_weights: List[np.ndarray] = []
+    trial = np.arange(n_trials, dtype=np.intp)
+    w = w0.copy()
+    n = np.full(n_trials, n_processors, dtype=np.int64)
+    off = np.zeros(n_trials, dtype=np.int64)
+    while trial.size:
+        done = n == 1
+        if done.any():
+            leaf_trials.append(trial[done])
+            leaf_weights.append(w[done])
+            active = ~done
+            trial, w, n, off = trial[active], w[active], n[active], off[active]
+            if trial.size == 0:
+                break
+        a = draws[trial, off]
+        w1, w2, n1, n2, off1 = _split_level(w, n, off, a)
+        trial = np.concatenate([trial, trial])
+        w = np.concatenate([w1, w2])
+        n = np.concatenate([n1, n2])
+        off = np.concatenate([off1, off + n1])
+    return _rows_to_matrix(leaf_trials, leaf_weights, n_trials, n_processors)
+
+
+def bahf_final_weights_batch(
+    initial_weight: Union[float, np.ndarray],
+    n_processors: int,
+    alpha_draws,
+    *,
+    alpha: float,
+    lam: float = 1.0,
+    hf_method: str = "auto",
+) -> np.ndarray:
+    """Batched :func:`~repro.core.bahf.bahf_final_weights`.
+
+    BA-phase nodes are expanded level by level exactly as in
+    :func:`ba_final_weights_batch`; nodes that fall below the switch-over
+    threshold ``λ/α + 1`` become HF sub-jobs, which are grouped by
+    processor count and finished with :func:`hf_final_weights_batch` on
+    their draw slices (``draws[t, off : off + n - 1]``, matching the
+    scalar DFS consumption order).
+    """
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    threshold = bahf_threshold(alpha, lam)
+    draws = _as_draw_matrix(alpha_draws, n_processors - 1)
+    n_trials = draws.shape[0]
+    w0 = _as_initial_weights(initial_weight, n_trials)
+    if n_processors == 1:
+        return w0[:, None].copy()
+
+    leaf_trials: List[np.ndarray] = []
+    leaf_weights: List[np.ndarray] = []
+    hf_trials: List[np.ndarray] = []
+    hf_w: List[np.ndarray] = []
+    hf_n: List[np.ndarray] = []
+    hf_off: List[np.ndarray] = []
+
+    trial = np.arange(n_trials, dtype=np.intp)
+    w = w0.copy()
+    n = np.full(n_trials, n_processors, dtype=np.int64)
+    off = np.zeros(n_trials, dtype=np.int64)
+    while trial.size:
+        below = n < threshold
+        if below.any():
+            single = below & (n == 1)
+            if single.any():
+                leaf_trials.append(trial[single])
+                leaf_weights.append(w[single])
+            multi = below & (n > 1)
+            if multi.any():
+                hf_trials.append(trial[multi])
+                hf_w.append(w[multi])
+                hf_n.append(n[multi])
+                hf_off.append(off[multi])
+            active = ~below
+            trial, w, n, off = trial[active], w[active], n[active], off[active]
+            if trial.size == 0:
+                break
+        a = draws[trial, off]
+        w1, w2, n1, n2, off1 = _split_level(w, n, off, a)
+        trial = np.concatenate([trial, trial])
+        w = np.concatenate([w1, w2])
+        n = np.concatenate([n1, n2])
+        off = np.concatenate([off1, off + n1])
+
+    if hf_trials:
+        job_trial = np.concatenate(hf_trials)
+        job_w = np.concatenate(hf_w)
+        job_n = np.concatenate(hf_n)
+        job_off = np.concatenate(hf_off)
+        for sub_n in np.unique(job_n):
+            group = job_n == sub_n
+            g_trial = job_trial[group]
+            g_off = job_off[group]
+            g_draws = draws[g_trial[:, None], g_off[:, None] + np.arange(sub_n - 1)]
+            sub = hf_final_weights_batch(
+                job_w[group], int(sub_n), g_draws, method=hf_method
+            )
+            leaf_trials.append(np.repeat(g_trial, int(sub_n)))
+            leaf_weights.append(sub.ravel())
+    return _rows_to_matrix(leaf_trials, leaf_weights, n_trials, n_processors)

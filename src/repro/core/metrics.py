@@ -20,6 +20,7 @@ __all__ = [
     "normalized_std",
     "idle_fraction",
     "RatioSample",
+    "RatioAccumulator",
     "summarize_ratios",
 ]
 
@@ -95,6 +96,85 @@ class RatioSample:
         return (
             f"min={self.minimum:.4f} avg={self.mean:.4f} "
             f"max={self.maximum:.4f} std={self.std:.4f} (n={self.n_trials})"
+        )
+
+
+@dataclass
+class RatioAccumulator:
+    """Mergeable streaming summary of trial ratios (Welford / Chan).
+
+    Lets chunked sweep workers summarise their own trials and ship a few
+    floats to the parent instead of the full ratio arrays -- paper-scale
+    sweeps (1000 trials x N up to 2^20 x many cells) never materialise
+    every per-trial array in one process.  ``update`` folds in a batch of
+    ratios; ``merge`` combines two accumulators with Chan et al.'s
+    parallel-variance formula.  Merging is deterministic for a fixed
+    merge order, so a sweep that fixes its chunk layout gets bit-identical
+    statistics for any worker count.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def update(self, ratios: Iterable[float]) -> "RatioAccumulator":
+        """Fold a batch of ratios into the running summary."""
+        arr = np.asarray(
+            ratios if isinstance(ratios, np.ndarray) else list(ratios),
+            dtype=np.float64,
+        ).ravel()
+        if arr.size == 0:
+            return self
+        if np.any(arr < 1.0 - 1e-12):
+            raise ValueError("ratios below 1 are impossible; inputs corrupt")
+        batch_mean = float(arr.mean())
+        self._combine(
+            int(arr.size),
+            batch_mean,
+            float(((arr - batch_mean) ** 2).sum()),
+            float(arr.min()),
+            float(arr.max()),
+        )
+        return self
+
+    def merge(self, other: "RatioAccumulator") -> "RatioAccumulator":
+        """Fold another accumulator into this one (in place)."""
+        if other.count:
+            self._combine(
+                other.count, other.mean, other.m2, other.minimum, other.maximum
+            )
+        return self
+
+    def _combine(
+        self, count: int, mean: float, m2: float, minimum: float, maximum: float
+    ) -> None:
+        if self.count == 0:
+            self.count, self.mean, self.m2 = count, mean, m2
+            self.minimum, self.maximum = minimum, maximum
+            return
+        total = self.count + count
+        delta = mean - self.mean
+        self.m2 = self.m2 + m2 + delta * delta * self.count * count / total
+        self.mean = self.mean + delta * count / total
+        self.count = total
+        self.minimum = min(self.minimum, minimum)
+        self.maximum = max(self.maximum, maximum)
+
+    def finalize(self) -> RatioSample:
+        """The :class:`RatioSample` of everything accumulated so far."""
+        if self.count == 0:
+            raise ValueError("need at least one ratio")
+        var = self.m2 / (self.count - 1) if self.count > 1 else 0.0
+        var = max(var, 0.0)
+        return RatioSample(
+            n_trials=self.count,
+            minimum=self.minimum,
+            mean=self.mean,
+            maximum=self.maximum,
+            variance=var,
+            std=var**0.5,
         )
 
 

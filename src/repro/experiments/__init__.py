@@ -18,6 +18,7 @@ plus the shared machinery: :mod:`config`, :mod:`stochastic`, :mod:`runner`,
 """
 
 from repro.experiments.config import (
+    DEFAULT_CHUNK_SIZE,
     DEFAULT_N_VALUES,
     PAPER_N_VALUES,
     StochasticConfig,
@@ -25,11 +26,12 @@ from repro.experiments.config import (
 )
 from repro.experiments.stochastic import (
     DrawStream,
+    normalize_algorithm,
     sample_ratios,
     trial_ratio,
     trial_ratios,
 )
-from repro.experiments.runner import SweepRecord, SweepResult, run_sweep
+from repro.experiments.runner import SweepRecord, SweepResult, chunk_bounds, run_sweep
 from repro.experiments.tables import (
     ascii_chart,
     format_series,
@@ -137,6 +139,9 @@ __all__ = [
     "sample_ratios",
     "trial_ratio",
     "trial_ratios",
+    "normalize_algorithm",
+    "chunk_bounds",
+    "DEFAULT_CHUNK_SIZE",
     "SweepRecord",
     "SweepResult",
     "run_sweep",

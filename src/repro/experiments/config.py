@@ -19,9 +19,16 @@ from repro.problems.samplers import AlphaSampler, UniformAlpha
 __all__ = [
     "PAPER_N_VALUES",
     "DEFAULT_N_VALUES",
+    "DEFAULT_CHUNK_SIZE",
     "StochasticConfig",
     "full_scale_requested",
 ]
+
+#: Default trial-chunk size for the sweep runner.  Chunking is part of
+#: the result-reduction layout (chunk summaries merge in chunk order),
+#: so it is a config property -- NOT derived from ``n_jobs`` -- which
+#: makes sweep statistics bit-identical for any worker count.
+DEFAULT_CHUNK_SIZE = 256
 
 #: The paper's processor counts: N = 2^k for k = 5..20.
 PAPER_N_VALUES: Tuple[int, ...] = tuple(2**k for k in range(5, 21))
@@ -51,10 +58,17 @@ class StochasticConfig:
     seed: int = 20260706
     #: worker processes for trial-level parallelism (1 = serial)
     n_jobs: int = 1
+    #: trials per scheduled work unit (None = DEFAULT_CHUNK_SIZE); one
+    #: (algorithm, N) cell is split into ceil(n_trials / chunk_size)
+    #: independently seeded chunks so a single heavy cell no longer
+    #: straggles a parallel sweep
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_trials < 1:
             raise ValueError(f"n_trials must be >= 1, got {self.n_trials}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.lam <= 0:
             raise ValueError(f"lam must be positive, got {self.lam}")
         if self.n_jobs < 1:
@@ -68,6 +82,11 @@ class StochasticConfig:
         for algo in self.algorithms:
             if algo not in known:
                 raise ValueError(f"unknown algorithm {algo!r} (known: {sorted(known)})")
+
+    @property
+    def effective_chunk_size(self) -> int:
+        """The trial-chunk size actually used by the sweep runner."""
+        return self.chunk_size if self.chunk_size is not None else DEFAULT_CHUNK_SIZE
 
     def scaled(
         self,

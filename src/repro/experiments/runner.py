@@ -6,10 +6,20 @@ min/avg/max/variance plus the worst-case upper bound computed from the
 theorems at the sampler's guaranteed α -- exactly the rows of the paper's
 Table 1.
 
-Trial-level parallelism uses ``concurrent.futures.ProcessPoolExecutor``
-(each worker re-derives its own seeds, so results are identical to the
-serial run; see the guides' advice to parallelise only embarrassingly
-parallel outer loops).
+Scheduling is *trial-chunked*: every cell's ``n_trials`` are split into
+``config.effective_chunk_size``-sized chunks and each chunk is one work
+unit for the ``concurrent.futures.ProcessPoolExecutor``.  Whole-cell
+granularity (the previous design) let a single heavy N = 2^16 cell
+straggle an entire sweep -- an ironic load imbalance for a load-balancing
+repo; chunking bounds the largest work unit.  Because trial ``t`` derives
+its generator from ``(seed, algorithm, N, t)``, a chunk computes exactly
+the values the serial pass would, and because the chunk layout and the
+merge order are functions of the config alone (never of ``n_jobs``), the
+resulting records are bit-identical for any worker count.
+
+Workers reduce their chunk to a :class:`~repro.core.metrics.RatioAccumulator`
+(a few floats) instead of shipping per-trial ratio arrays, so paper-scale
+sweeps never materialise every ratio array in the parent.
 """
 
 from __future__ import annotations
@@ -21,12 +31,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.bounds import bound_for
-from repro.core.metrics import RatioSample, summarize_ratios
+from repro.core.metrics import RatioAccumulator, RatioSample, summarize_ratios
 from repro.experiments.config import StochasticConfig
 from repro.experiments.stochastic import trial_ratios
 from repro.problems.samplers import AlphaSampler
 
-__all__ = ["SweepRecord", "SweepResult", "run_sweep"]
+__all__ = ["SweepRecord", "SweepResult", "run_sweep", "chunk_bounds"]
 
 
 @dataclass(frozen=True)
@@ -59,11 +69,22 @@ class SweepResult:
     config: StochasticConfig
     records: Tuple[SweepRecord, ...]
 
+    def __post_init__(self) -> None:
+        # O(1) cell lookup; built once (frozen dataclass, so via
+        # object.__setattr__).  Not a field: equality/repr ignore it.
+        index = {(rec.algorithm, rec.n_processors): rec for rec in self.records}
+        object.__setattr__(self, "_index", index)
+
     def get(self, algorithm: str, n: int) -> SweepRecord:
-        for rec in self.records:
-            if rec.algorithm == algorithm and rec.n_processors == n:
-                return rec
-        raise KeyError(f"no record for ({algorithm}, {n})")
+        try:
+            return self._index[(algorithm, n)]
+        except KeyError:
+            cells = ", ".join(
+                f"({rec.algorithm}, {rec.n_processors})" for rec in self.records
+            )
+            raise KeyError(
+                f"no record for ({algorithm!r}, {n}); available cells: {cells or 'none'}"
+            ) from None
 
     def series(self, algorithm: str, field: str = "mean") -> List[Tuple[int, float]]:
         """``(N, value)`` pairs for one algorithm, ascending N.
@@ -89,40 +110,78 @@ class SweepResult:
         return seen
 
 
-def _run_cell(
-    args: Tuple[str, int, AlphaSampler, int, int, float]
-) -> Tuple[str, int, np.ndarray]:
-    """Worker: all trials of one (algorithm, N) cell (picklable)."""
-    algorithm, n, sampler, n_trials, seed, lam = args
+def chunk_bounds(n_trials: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Half-open trial ranges covering ``range(n_trials)`` in order."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (start, min(start + chunk_size, n_trials))
+        for start in range(0, n_trials, chunk_size)
+    ]
+
+
+def _run_chunk(
+    args: Tuple[str, int, AlphaSampler, int, int, int, float]
+) -> Tuple[str, int, int, RatioAccumulator]:
+    """Worker: one trial chunk of one (algorithm, N) cell (picklable).
+
+    Returns the chunk's summary accumulator, not its ratio array, so the
+    parent's memory stays O(cells x chunks) regardless of n_trials.
+    """
+    algorithm, n, sampler, start, stop, seed, lam = args
     ratios = trial_ratios(
-        algorithm, n, sampler, n_trials=n_trials, seed=seed, lam=lam
+        algorithm,
+        n,
+        sampler,
+        n_trials=stop - start,
+        seed=seed,
+        lam=lam,
+        start=start,
     )
-    return algorithm, n, ratios
+    return algorithm, n, start, RatioAccumulator().update(ratios)
 
 
 def run_sweep(config: StochasticConfig) -> SweepResult:
     """Evaluate every (algorithm, N) cell of ``config``."""
+    chunks = chunk_bounds(config.n_trials, config.effective_chunk_size)
     cells = [
-        (algo, n, config.sampler, config.n_trials, config.seed, config.lam)
-        for algo in config.algorithms
-        for n in config.n_values
+        (algo, n) for algo in config.algorithms for n in config.n_values
     ]
-    if config.n_jobs > 1 and len(cells) > 1:
+    tasks = [
+        (algo, n, config.sampler, start, stop, config.seed, config.lam)
+        for algo, n in cells
+        for start, stop in chunks
+    ]
+    if config.n_jobs > 1 and len(tasks) > 1:
         with ProcessPoolExecutor(max_workers=config.n_jobs) as pool:
-            raw = list(pool.map(_run_cell, cells))
+            raw = list(pool.map(_run_chunk, tasks))
     else:
-        raw = [_run_cell(cell) for cell in cells]
+        raw = [_run_chunk(task) for task in tasks]
+
+    # Reduce chunk accumulators per cell, always in chunk-start order:
+    # the merge tree is a function of the config alone, so statistics are
+    # bit-identical no matter how many workers computed the chunks.
+    per_cell: Dict[Tuple[str, int], List[Tuple[int, RatioAccumulator]]] = {
+        cell: [] for cell in cells
+    }
+    for algorithm, n, start, acc in raw:
+        per_cell[(algorithm, n)].append((start, acc))
 
     alpha = config.sampler.alpha
     records = []
-    for algorithm, n, ratios in raw:
+    for algorithm, n in cells:
+        acc = RatioAccumulator()
+        for _, chunk_acc in sorted(per_cell[(algorithm, n)], key=lambda item: item[0]):
+            acc.merge(chunk_acc)
         records.append(
             SweepRecord(
                 algorithm=algorithm,
                 n_processors=n,
                 sampler_label=config.sampler.describe(),
                 lam=config.lam,
-                sample=summarize_ratios(ratios),
+                sample=acc.finalize(),
                 upper_bound=bound_for(algorithm, alpha, n, config.lam),
             )
         )

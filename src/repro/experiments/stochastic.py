@@ -21,12 +21,23 @@ import numpy as np
 
 from repro.core.ba import ba_final_weights
 from repro.core.bahf import bahf_final_weights
+from repro.core.batch import (
+    ba_final_weights_batch,
+    bahf_final_weights_batch,
+    hf_final_weights_batch,
+)
 from repro.core.hf import hf_final_weights
 from repro.core.metrics import RatioSample, summarize_ratios
 from repro.problems.samplers import AlphaSampler
 from repro.utils.rng import SeedSequenceFactory
 
-__all__ = ["DrawStream", "trial_ratio", "trial_ratios", "sample_ratios"]
+__all__ = [
+    "DrawStream",
+    "normalize_algorithm",
+    "trial_ratio",
+    "trial_ratios",
+    "sample_ratios",
+]
 
 
 class DrawStream:
@@ -63,6 +74,39 @@ class DrawStream:
         self.n_draws += 1
         return value
 
+    def take(self, k: int) -> np.ndarray:
+        """The next ``k`` draws of the stream as one array (no boxing).
+
+        Serves buffered values first, then refills in bulk (at least a
+        block, or the whole remainder if larger), so consuming a stream
+        via any mix of ``take`` and ``__call__`` yields the same value
+        sequence as calling ``sampler.sample_many`` once.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        out = np.empty(k, dtype=np.float64)
+        filled = 0
+        while filled < k:
+            if self._pos >= self._buf.size:
+                self._buf = self._sampler.sample_many(
+                    self._rng, max(self._block, k - filled)
+                )
+                self._pos = 0
+            m = min(k - filled, self._buf.size - self._pos)
+            out[filled : filled + m] = self._buf[self._pos : self._pos + m]
+            self._pos += m
+            filled += m
+        self.n_draws += k
+        return out
+
+
+def normalize_algorithm(algorithm: str) -> str:
+    """Canonical key for an algorithm name ("BA-HF" -> "bahf", ...)."""
+    key = algorithm.lower().replace("-", "").replace("_", "")
+    if key not in ("hf", "phf", "ba", "bahf"):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return key
+
 
 def trial_ratio(
     algorithm: str,
@@ -78,7 +122,7 @@ def trial_ratio(
     "hf" (Theorem 3: identical partitions), kept so experiment configs can
     speak the paper's names.
     """
-    key = algorithm.lower().replace("-", "").replace("_", "")
+    key = normalize_algorithm(algorithm)
     if n_processors < 1:
         raise ValueError(f"n_processors must be >= 1, got {n_processors}")
     if key in ("hf", "phf"):
@@ -86,7 +130,7 @@ def trial_ratio(
         weights = hf_final_weights(1.0, n_processors, draws)
     elif key == "ba":
         weights = ba_final_weights(1.0, n_processors, DrawStream(sampler, rng))
-    elif key == "bahf":
+    else:
         weights = bahf_final_weights(
             1.0,
             n_processors,
@@ -94,9 +138,17 @@ def trial_ratio(
             alpha=sampler.alpha,
             lam=lam,
         )
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
     return float(weights.max() * n_processors)
+
+
+def _trial_factory(algorithm: str, n_processors: int, seed: int) -> SeedSequenceFactory:
+    """Per-(algorithm, N) seed factory; trial ``t`` -> its own generator.
+
+    zlib.crc32 is stable across processes, unlike built-in str hashing,
+    so workers re-derive identical streams.
+    """
+    tag = zlib.crc32(f"{algorithm}:{n_processors}".encode())
+    return SeedSequenceFactory((seed ^ tag) & 0xFFFFFFFFFFFFFFFF)
 
 
 def trial_ratios(
@@ -107,24 +159,50 @@ def trial_ratios(
     n_trials: int,
     seed: int,
     lam: float = 1.0,
+    start: int = 0,
+    use_batch: bool = True,
 ) -> np.ndarray:
-    """``n_trials`` independent trial ratios, reproducibly seeded.
+    """Trial ratios for trials ``start .. start + n_trials - 1``.
 
     Trial ``t`` uses a generator derived from ``(seed, algorithm,
     n_processors, t)`` so that adding algorithms or N values to a sweep
-    never perturbs existing results.
+    never perturbs existing results -- and so that any chunking of the
+    trial range across workers (``start`` offsets) reproduces the exact
+    same values as one serial pass.
+
+    ``use_batch=True`` routes all trials of the call through the
+    vectorized kernels of :mod:`repro.core.batch` (bit-identical weight
+    multisets, orders of magnitude faster at paper scale);
+    ``use_batch=False`` keeps the scalar per-trial path, retained as the
+    reference implementation for equivalence tests.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
-    # Derive a sub-root per (algorithm, n) so streams never overlap.
-    # (zlib.crc32 is stable across processes, unlike built-in str hashing.)
-    tag = zlib.crc32(f"{algorithm}:{n_processors}".encode())
-    factory = SeedSequenceFactory((seed ^ tag) & 0xFFFFFFFFFFFFFFFF)
-    out = np.empty(n_trials, dtype=np.float64)
-    for t in range(n_trials):
-        rng = factory.generator_for(t)
-        out[t] = trial_ratio(algorithm, n_processors, sampler, rng, lam=lam)
-    return out
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    key = normalize_algorithm(algorithm)
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    factory = _trial_factory(algorithm, n_processors, seed)
+    trials = range(start, start + n_trials)
+    if not use_batch:
+        out = np.empty(n_trials, dtype=np.float64)
+        for i, t in enumerate(trials):
+            rng = factory.generator_for(t)
+            out[i] = trial_ratio(algorithm, n_processors, sampler, rng, lam=lam)
+        return out
+
+    rngs = [factory.generator_for(t) for t in trials]
+    draws = sampler.sample_trial_matrix(rngs, max(0, n_processors - 1))
+    if key in ("hf", "phf"):
+        weights = hf_final_weights_batch(1.0, n_processors, draws)
+    elif key == "ba":
+        weights = ba_final_weights_batch(1.0, n_processors, draws)
+    else:
+        weights = bahf_final_weights_batch(
+            1.0, n_processors, draws, alpha=sampler.alpha, lam=lam
+        )
+    return weights.max(axis=1) * n_processors
 
 
 def sample_ratios(

@@ -51,6 +51,44 @@ class AlphaSampler(ABC):
         """``size`` i.i.d. draws (subclasses override with vector code)."""
         return np.array([self.sample(rng) for _ in range(size)])
 
+    def sample_block(
+        self, rng: np.random.Generator, shape: Tuple[int, ...]
+    ) -> np.ndarray:
+        """Draws of arbitrary ``shape`` from a single stream (row-major).
+
+        ``sample_block(rng, (t, k))[i, j]`` equals the ``(i*k + j)``-th
+        sequential draw of ``rng`` -- i.e. a reshaped :meth:`sample_many`.
+        Use when one stream feeds a whole batch; use
+        :meth:`sample_trial_matrix` when each row must come from its own
+        per-trial generator.
+        """
+        size = 1
+        for dim in shape:
+            if dim < 0:
+                raise ValueError(f"shape must be non-negative, got {shape}")
+            size *= dim
+        return self.sample_many(rng, size).reshape(shape)
+
+    def sample_trial_matrix(
+        self, rngs: Sequence[np.random.Generator], n_draws: int
+    ) -> np.ndarray:
+        """The batched-kernel draw matrix: row ``t`` from ``rngs[t]``.
+
+        Returns a ``(len(rngs), n_draws)`` array in which row ``t``
+        contains the first ``n_draws`` values of ``rngs[t]``'s stream --
+        exactly what the scalar trial for generator ``rngs[t]`` would
+        consume -- so batched kernels reproduce per-trial results
+        bit-for-bit no matter how trials are chunked across workers.
+        """
+        if not rngs:
+            raise ValueError("need at least one generator")
+        if n_draws < 0:
+            raise ValueError(f"n_draws must be non-negative, got {n_draws}")
+        out = np.empty((len(rngs), n_draws), dtype=np.float64)
+        for t, rng in enumerate(rngs):
+            out[t] = self.sample_many(rng, n_draws)
+        return out
+
     def describe(self) -> str:
         """Short label used in tables ("U[0.10,0.50]", "δ(0.30)", ...)."""
         return repr(self)

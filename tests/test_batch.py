@@ -1,0 +1,203 @@
+"""Batched kernels vs the scalar fast paths: exact numerical parity.
+
+The batched HF/BA/BA-HF kernels must reproduce the scalar fast paths to
+<= 1e-12 (they are in fact bit-identical) for the same per-trial draws.
+For HF the heap/frontier/native formulations may pop equal weights in a
+different order than ``heapq``, which permutes the final weight vector
+but provably not its multiset -- so rows are compared sorted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core._native import native_available
+from repro.core.ba import ba_final_weights
+from repro.core.bahf import bahf_final_weights
+from repro.core.batch import (
+    HEAP_MIN_N,
+    ba_final_weights_batch,
+    bahf_final_weights_batch,
+    hf_final_weights_batch,
+)
+from repro.core.hf import hf_final_weights
+from repro.experiments.stochastic import trial_ratios
+from repro.problems.samplers import (
+    BetaAlpha,
+    DiscreteAlpha,
+    FixedAlpha,
+    UniformAlpha,
+)
+from repro.utils.rng import SeedSequenceFactory
+
+N_VALUES = (1, 2, 3, 7, 64, 257)
+N_TRIALS = 12
+
+SAMPLERS = [
+    UniformAlpha(0.01, 0.5),
+    UniformAlpha(0.1, 0.5),
+    FixedAlpha(0.3),
+    FixedAlpha(0.5),
+    BetaAlpha(2.0, 5.0),
+    DiscreteAlpha((0.2, 0.35, 0.5)),
+]
+
+HF_METHODS = ["frontier", "heap"] + (["native"] if native_available() else [])
+
+
+class _Stream:
+    """Scalar draw callable over one precomputed row (with bulk take)."""
+
+    def __init__(self, row):
+        self.row = np.asarray(row, dtype=float)
+        self.i = 0
+
+    def __call__(self):
+        value = float(self.row[self.i])
+        self.i += 1
+        return value
+
+    def take(self, k):
+        out = self.row[self.i : self.i + k]
+        self.i += k
+        return out
+
+
+def _draw_matrix(sampler, n, n_trials=N_TRIALS, seed=1234):
+    factory = SeedSequenceFactory(seed)
+    rngs = [factory.generator_for(t) for t in range(n_trials)]
+    return sampler.sample_trial_matrix(rngs, max(0, n - 1))
+
+
+def _assert_rows_match(batch, scalar_rows):
+    for row, ref in zip(batch, scalar_rows):
+        ref = np.asarray(ref, dtype=float)
+        assert row.shape == ref.shape
+        np.testing.assert_allclose(
+            np.sort(row), np.sort(ref), rtol=0.0, atol=1e-12
+        )
+
+
+@pytest.mark.parametrize("sampler", SAMPLERS, ids=lambda s: s.describe())
+@pytest.mark.parametrize("n", N_VALUES)
+class TestParity:
+    def test_hf_matches_scalar(self, sampler, n):
+        draws = _draw_matrix(sampler, n)
+        for method in HF_METHODS if n > 1 else ["auto"]:
+            batch = hf_final_weights_batch(1.0, n, draws, method=method)
+            refs = [hf_final_weights(1.0, n, row) for row in draws]
+            _assert_rows_match(batch, refs)
+
+    def test_ba_matches_scalar(self, sampler, n):
+        draws = _draw_matrix(sampler, n)
+        batch = ba_final_weights_batch(1.0, n, draws)
+        refs = [ba_final_weights(1.0, n, _Stream(row)) for row in draws]
+        _assert_rows_match(batch, refs)
+
+    @pytest.mark.parametrize("lam", [0.5, 1.0, 4.0])
+    def test_bahf_matches_scalar(self, sampler, n, lam):
+        draws = _draw_matrix(sampler, n)
+        batch = bahf_final_weights_batch(
+            1.0, n, draws, alpha=sampler.alpha, lam=lam
+        )
+        refs = [
+            bahf_final_weights(1.0, n, _Stream(row), alpha=sampler.alpha, lam=lam)
+            for row in draws
+        ]
+        _assert_rows_match(batch, refs)
+
+
+class TestHfMethods:
+    def test_heap_and_frontier_agree_above_threshold(self):
+        n = HEAP_MIN_N + 5
+        draws = _draw_matrix(UniformAlpha(0.01, 0.5), n, n_trials=4)
+        heap = hf_final_weights_batch(1.0, n, draws, method="heap")
+        frontier = hf_final_weights_batch(1.0, n, draws, method="frontier")
+        np.testing.assert_array_equal(np.sort(heap), np.sort(frontier))
+
+    def test_unknown_method_rejected(self):
+        draws = _draw_matrix(UniformAlpha(0.1, 0.5), 8)
+        with pytest.raises(ValueError, match="unknown method"):
+            hf_final_weights_batch(1.0, 8, draws, method="wat")
+
+    def test_native_method_runs_or_raises(self):
+        draws = _draw_matrix(UniformAlpha(0.1, 0.5), 8)
+        if native_available():
+            out = hf_final_weights_batch(1.0, 8, draws, method="native")
+            assert out.shape == (N_TRIALS, 8)
+        else:
+            with pytest.raises(RuntimeError, match="unavailable"):
+                hf_final_weights_batch(1.0, 8, draws, method="native")
+
+    def test_native_disabled_by_env(self, monkeypatch):
+        # The kill-switch must force the pure-NumPy fallback, not break.
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        import repro.core._native as native
+
+        monkeypatch.setattr(native, "_lib", None)
+        monkeypatch.setattr(native, "_load_attempted", False)
+        assert not native.native_available()
+        draws = _draw_matrix(UniformAlpha(0.1, 0.5), 8)
+        out = hf_final_weights_batch(1.0, 8, draws)
+        refs = [hf_final_weights(1.0, 8, row) for row in draws]
+        _assert_rows_match(out, refs)
+
+
+class TestInputValidation:
+    def test_draws_too_short_rejected(self):
+        draws = np.full((3, 5), 0.4)
+        with pytest.raises(ValueError, match="need 7 alpha draws"):
+            hf_final_weights_batch(1.0, 8, draws)
+
+    def test_draws_must_be_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ba_final_weights_batch(1.0, 4, np.full(3, 0.4))
+
+    def test_nonpositive_initial_weight_rejected(self):
+        draws = np.full((3, 3), 0.4)
+        with pytest.raises(ValueError, match="positive"):
+            hf_final_weights_batch(0.0, 4, draws)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError, match="n_processors"):
+            ba_final_weights_batch(1.0, 0, np.empty((2, 0)))
+
+    def test_per_trial_initial_weights(self):
+        sampler = UniformAlpha(0.1, 0.5)
+        draws = _draw_matrix(sampler, 16, n_trials=3)
+        w0 = np.array([1.0, 2.5, 0.5])
+        batch = hf_final_weights_batch(w0, 16, draws)
+        refs = [hf_final_weights(w, 16, row) for w, row in zip(w0, draws)]
+        _assert_rows_match(batch, refs)
+
+    def test_excess_draw_columns_ignored(self):
+        sampler = UniformAlpha(0.1, 0.5)
+        wide = _draw_matrix(sampler, 40, n_trials=5)
+        narrow = wide[:, :15]
+        batch_wide = hf_final_weights_batch(1.0, 16, wide)
+        batch_narrow = hf_final_weights_batch(1.0, 16, narrow)
+        np.testing.assert_array_equal(
+            np.sort(batch_wide), np.sort(batch_narrow)
+        )
+
+
+class TestTrialRatios:
+    @pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf"])
+    def test_batch_equals_scalar_path(self, algorithm):
+        sampler = UniformAlpha(0.01, 0.5)
+        batch = trial_ratios(
+            algorithm, 64, sampler, n_trials=20, seed=11, use_batch=True
+        )
+        scalar = trial_ratios(
+            algorithm, 64, sampler, n_trials=20, seed=11, use_batch=False
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf"])
+    def test_chunked_offsets_recompose_serial(self, algorithm):
+        sampler = UniformAlpha(0.1, 0.5)
+        full = trial_ratios(algorithm, 32, sampler, n_trials=21, seed=3)
+        chunks = [
+            trial_ratios(algorithm, 32, sampler, n_trials=7, seed=3, start=s)
+            for s in (0, 7, 14)
+        ]
+        np.testing.assert_array_equal(full, np.concatenate(chunks))

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.config import (
+    DEFAULT_CHUNK_SIZE,
     DEFAULT_N_VALUES,
     PAPER_N_VALUES,
     StochasticConfig,
@@ -80,3 +81,16 @@ class TestStochasticConfig:
         cfg = StochasticConfig()
         with pytest.raises(Exception):
             cfg.n_trials = 5
+
+
+class TestChunkSize:
+    def test_default_is_module_constant(self):
+        assert StochasticConfig().effective_chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_explicit_value_wins(self):
+        assert StochasticConfig(chunk_size=17).effective_chunk_size == 17
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            StochasticConfig(chunk_size=bad)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.metrics import (
+    RatioAccumulator,
     idle_fraction,
     imbalance,
     normalized_std,
@@ -100,3 +101,60 @@ class TestSummarizeRatios:
     def test_as_dict_keys(self):
         d = summarize_ratios([1.0, 2.0]).as_dict()
         assert set(d) == {"n_trials", "min", "avg", "max", "var", "std"}
+
+
+class TestRatioAccumulator:
+    def _ratios(self, seed, size):
+        return 1.0 + np.random.default_rng(seed).random(size)
+
+    def test_single_update_matches_summarize(self):
+        ratios = self._ratios(0, 50)
+        sample = RatioAccumulator().update(ratios).finalize()
+        reference = summarize_ratios(ratios)
+        assert sample.n_trials == reference.n_trials
+        assert sample.minimum == reference.minimum
+        assert sample.maximum == reference.maximum
+        assert sample.mean == pytest.approx(reference.mean, rel=1e-14)
+        assert sample.variance == pytest.approx(reference.variance, rel=1e-12)
+
+    def test_chunked_updates_match_one_shot(self):
+        ratios = self._ratios(1, 97)
+        whole = RatioAccumulator().update(ratios).finalize()
+        acc = RatioAccumulator()
+        for lo in range(0, 97, 13):
+            acc.update(ratios[lo : lo + 13])
+        chunked = acc.finalize()
+        assert chunked.n_trials == whole.n_trials
+        assert chunked.minimum == whole.minimum
+        assert chunked.maximum == whole.maximum
+        assert chunked.mean == pytest.approx(whole.mean, rel=1e-14)
+        assert chunked.variance == pytest.approx(whole.variance, rel=1e-12)
+
+    def test_merge_matches_concatenation(self):
+        left, right = self._ratios(2, 31), self._ratios(3, 44)
+        a = RatioAccumulator().update(left)
+        b = RatioAccumulator().update(right)
+        a.merge(b)
+        merged = a.finalize()
+        reference = summarize_ratios(np.concatenate([left, right]))
+        assert merged.n_trials == reference.n_trials
+        assert merged.mean == pytest.approx(reference.mean, rel=1e-14)
+        assert merged.variance == pytest.approx(reference.variance, rel=1e-12)
+
+    def test_merge_with_empty_is_identity(self):
+        ratios = self._ratios(4, 10)
+        acc = RatioAccumulator().update(ratios)
+        acc.merge(RatioAccumulator())
+        assert acc.finalize() == RatioAccumulator().update(ratios).finalize()
+
+    def test_single_trial_zero_variance(self):
+        sample = RatioAccumulator().update([1.5]).finalize()
+        assert sample.variance == 0.0 and sample.std == 0.0
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ValueError):
+            RatioAccumulator().finalize()
+
+    def test_subunit_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            RatioAccumulator().update([0.5])

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.bounds import bound_for
 from repro.experiments.config import StochasticConfig
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import chunk_bounds, run_sweep
 from repro.problems import UniformAlpha
 
 
@@ -80,3 +80,71 @@ class TestParallelJobs:
         for rs, rp in zip(serial.records, parallel.records):
             assert rs.sample.mean == pytest.approx(rp.sample.mean)
             assert rs.sample.maximum == pytest.approx(rp.sample.maximum)
+
+
+class TestChunkBounds:
+    def test_exact_cover_in_order(self):
+        assert chunk_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_chunk_when_large(self):
+        assert chunk_bounds(5, 100) == [(0, 5)]
+
+    def test_chunk_size_one(self):
+        assert chunk_bounds(3, 1) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(0, 4)
+        with pytest.raises(ValueError):
+            chunk_bounds(4, 0)
+
+
+class TestChunkedScheduling:
+    BASE = dict(
+        sampler=UniformAlpha(0.1, 0.5),
+        n_values=(32, 64),
+        algorithms=("hf", "bahf", "ba"),
+        n_trials=25,
+        seed=9,
+    )
+
+    def test_parallel_bit_identical_to_serial(self):
+        # chunk layout and merge order depend on the config only, so the
+        # records must be *exactly* equal, not just statistically close
+        serial = run_sweep(StochasticConfig(**self.BASE, n_jobs=1, chunk_size=8))
+        parallel = run_sweep(StochasticConfig(**self.BASE, n_jobs=2, chunk_size=8))
+        assert serial.records == parallel.records
+
+    def test_odd_chunk_size_matches_whole_cell(self):
+        whole = run_sweep(StochasticConfig(**self.BASE, chunk_size=25))
+        chunked = run_sweep(StochasticConfig(**self.BASE, chunk_size=7))
+        for rw, rc in zip(whole.records, chunked.records):
+            assert rw.sample.mean == pytest.approx(rc.sample.mean, rel=1e-12)
+            assert rw.sample.maximum == rc.sample.maximum
+            assert rw.sample.minimum == rc.sample.minimum
+            assert rw.sample.variance == pytest.approx(rc.sample.variance, rel=1e-9)
+
+    def test_chunk_size_one_still_works(self):
+        cfg = StochasticConfig(
+            sampler=UniformAlpha(0.1, 0.5),
+            n_values=(32,),
+            algorithms=("hf",),
+            n_trials=5,
+            chunk_size=1,
+        )
+        result = run_sweep(cfg)
+        assert result.records[0].sample.n_trials == 5
+
+
+class TestSweepResultIndex:
+    def test_get_uses_index(self, small_sweep):
+        rec = small_sweep.get("bahf", 64)
+        assert rec.algorithm == "bahf" and rec.n_processors == 64
+
+    def test_missing_cell_error_lists_available(self, small_sweep):
+        with pytest.raises(KeyError) as excinfo:
+            small_sweep.get("hf", 999)
+        message = str(excinfo.value)
+        assert "'hf'" in message and "999" in message
+        assert "available cells" in message
+        assert "(ba, 32)" in message

@@ -112,3 +112,41 @@ class TestDiscreteAlpha:
     def test_invalid_value_rejected(self):
         with pytest.raises(ValueError):
             DiscreteAlpha(values=(0.7,))
+
+
+class TestBatchedSamplerApi:
+    SAMPLERS = [
+        UniformAlpha(0.01, 0.5),
+        FixedAlpha(0.3),
+        BetaAlpha(2.0, 5.0),
+        DiscreteAlpha((0.2, 0.35, 0.5)),
+    ]
+
+    @pytest.mark.parametrize("sampler", SAMPLERS, ids=lambda s: s.describe())
+    def test_sample_block_matches_flat_stream(self, sampler):
+        flat = sampler.sample_many(np.random.default_rng(3), 12)
+        block = sampler.sample_block(np.random.default_rng(3), (3, 4))
+        assert block.shape == (3, 4)
+        np.testing.assert_array_equal(block.ravel(), flat)
+
+    @pytest.mark.parametrize("sampler", SAMPLERS, ids=lambda s: s.describe())
+    def test_trial_matrix_rows_match_per_trial_streams(self, sampler):
+        rngs = [np.random.default_rng(seed) for seed in (5, 6, 7)]
+        matrix = sampler.sample_trial_matrix(rngs, 9)
+        assert matrix.shape == (3, 9) and matrix.dtype == np.float64
+        for row, seed in zip(matrix, (5, 6, 7)):
+            expected = sampler.sample_many(np.random.default_rng(seed), 9)
+            np.testing.assert_array_equal(row, expected)
+
+    def test_trial_matrix_zero_draws(self):
+        matrix = UniformAlpha(0.1, 0.5).sample_trial_matrix(
+            [np.random.default_rng(0)], 0
+        )
+        assert matrix.shape == (1, 0)
+
+    def test_trial_matrix_rejects_bad_args(self):
+        sampler = UniformAlpha(0.1, 0.5)
+        with pytest.raises(ValueError):
+            sampler.sample_trial_matrix([], 4)
+        with pytest.raises(ValueError):
+            sampler.sample_trial_matrix([np.random.default_rng(0)], -1)

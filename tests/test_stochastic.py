@@ -134,3 +134,35 @@ class TestSampleRatios:
         assert summary.minimum == pytest.approx(raw.min())
         assert summary.maximum == pytest.approx(raw.max())
         assert summary.n_trials == 50
+
+
+class TestDrawStreamTake:
+    def test_matches_scalar_draw_sequence(self):
+        sampler = UniformAlpha(0.1, 0.5)
+        scalar = DrawStream(sampler, np.random.default_rng(8), block=16)
+        bulk = DrawStream(sampler, np.random.default_rng(8), block=16)
+        expected = np.array([scalar() for _ in range(40)])
+        got = bulk.take(40)
+        np.testing.assert_array_equal(got, expected)
+        assert bulk.n_draws == 40
+
+    def test_mixed_scalar_and_bulk(self):
+        sampler = UniformAlpha(0.1, 0.5)
+        reference = DrawStream(sampler, np.random.default_rng(9), block=8)
+        mixed = DrawStream(sampler, np.random.default_rng(9), block=8)
+        expected = np.array([reference() for _ in range(25)])
+        got = np.concatenate(
+            [[mixed() for _ in range(3)], mixed.take(12), [mixed()], mixed.take(9)]
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_take_crossing_block_boundary(self):
+        sampler = UniformAlpha(0.2, 0.4)
+        stream = DrawStream(sampler, np.random.default_rng(10), block=4)
+        assert stream.take(11).shape == (11,)
+        assert stream.n_draws == 11
+
+    def test_take_zero_is_empty(self):
+        stream = DrawStream(UniformAlpha(0.1, 0.5), np.random.default_rng(0))
+        assert stream.take(0).size == 0
+        assert stream.n_draws == 0
