@@ -36,8 +36,8 @@ def main() -> None:
     mk = lambda seed: SyntheticProblem(1.0, sampler, seed=seed)
 
     print(
-        f"cluster: {n} processors, {np.sum(speeds == ratio)} fast (speed "
-        f"{ratio:g}) + {np.sum(speeds == 1.0)} slow (speed 1)\n"
+        f"cluster: {n} processors, {np.sum(np.isclose(speeds, ratio))} fast (speed "
+        f"{ratio:g}) + {np.sum(np.isclose(speeds, 1.0))} slow (speed 1)\n"
     )
 
     blind = run_ba(mk(123), n)

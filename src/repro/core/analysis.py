@@ -18,6 +18,7 @@ import math
 
 from repro.core.bounds import ba_step_bound
 from repro.core.partition import Partition
+from repro.core.problem import check_alpha
 from repro.core.tree import BisectionNode, BisectionTree
 
 __all__ = [
@@ -139,6 +140,7 @@ def audit_phase1_depth(tree: BisectionTree, alpha: float) -> bool:
     Every node at depth ``d`` must weigh at most ``w(p)·(1-α)^d`` (each
     bisection leaves at most a ``1-α`` fraction on either side).
     """
+    alpha = check_alpha(alpha)
     root_w = tree.root.weight
     for node in tree.nodes():
         if node.weight > root_w * (1.0 - alpha) ** node.depth * (1 + 1e-9):

@@ -127,6 +127,7 @@ def bisection_respects_alpha(
     Verifies weight conservation and that both children's weights lie in
     ``[α·w(p), (1-α)·w(p)]`` up to relative tolerance ``rel_tol``.
     """
+    alpha = check_alpha(alpha)
     p1, p2 = parent.bisect()
     w = parent.weight
     slack = rel_tol * w

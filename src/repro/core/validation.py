@@ -12,7 +12,7 @@ from typing import Callable, List, Optional
 
 from repro.core.bounds import bound_for
 from repro.core.partition import Partition
-from repro.core.problem import BisectableProblem
+from repro.core.problem import BisectableProblem, check_alpha
 
 __all__ = [
     "BisectorReport",
@@ -36,6 +36,7 @@ class BisectorReport:
 
     def supports(self, alpha: float, *, rel_tol: float = 1e-9) -> bool:
         """Whether every probed bisection met the α-guarantee."""
+        alpha = check_alpha(alpha)
         return (
             self.min_alpha >= alpha * (1.0 - rel_tol)
             and self.max_conservation_error <= rel_tol

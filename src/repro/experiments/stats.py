@@ -22,6 +22,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.mathutils import is_zero
+
 __all__ = [
     "ConfidenceInterval",
     "bootstrap_ci",
@@ -209,6 +211,6 @@ def required_trials(
     if arr.size < 2:
         raise ValueError("need at least 2 pilot samples")
     s = float(arr.std(ddof=1))
-    if s == 0.0:
+    if is_zero(s):
         return 1
     return int(np.ceil((s / target_se) ** 2))

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import bound_for
 from repro.core.lower_bounds import WorstCaseReport, worst_case_search
+from repro.core.problem import check_alpha
 
 __all__ = [
     "WorstCaseStudyResult",
@@ -38,7 +39,7 @@ class WorstCaseStudyResult:
     reports: Dict[Tuple[str, float], WorstCaseReport]
 
     def get(self, algorithm: str, alpha: float) -> WorstCaseReport:
-        return self.reports[(algorithm, alpha)]
+        return self.reports[(algorithm, check_alpha(alpha))]
 
     def max_tightness(self, algorithm: str) -> float:
         return max(

@@ -1,0 +1,56 @@
+"""Dependency-free static analysis for reproducibility invariants.
+
+``repro.lint`` machine-enforces the hand-maintained rules the
+reproduction's correctness rests on: explicit SplitMix64 seeding
+(Theorem 3's PHF == HF equality), no hidden global RNG or wall-clock
+state in kernel paths, tolerance-based float comparison, and the
+``0 < α ≤ 1/2`` precondition of Definition 1.  Pure stdlib (``ast``),
+works offline, no third-party dependencies.
+
+Usage::
+
+    python -m repro.lint src benchmarks examples
+    python -m repro.lint --format json src
+    python -m repro.lint --list-rules
+
+or programmatically::
+
+    from repro.lint import lint_paths, load_policy
+    findings = lint_paths(["src"], load_policy())
+
+Per-line suppression: ``# repro-lint: disable=R004`` (comma-separate
+for several IDs, or ``disable=all``).  Path scoping (strict kernel
+profile vs relaxed driver profile) comes from ``[tool.repro-lint]`` in
+``pyproject.toml``; see :mod:`repro.lint.policy`.
+"""
+
+from __future__ import annotations
+
+from repro.lint import rules as _rules  # noqa: F401  (registers R001-R008)
+from repro.lint.cli import main
+from repro.lint.engine import lint_file, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.policy import (
+    DEFAULT_PROFILE_PATHS,
+    PROFILE_RULES,
+    LintPolicy,
+    load_policy,
+)
+from repro.lint.registry import LintContext, Rule, all_rules, get_rule, rule_ids
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintPolicy",
+    "Rule",
+    "PROFILE_RULES",
+    "DEFAULT_PROFILE_PATHS",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_policy",
+    "main",
+]

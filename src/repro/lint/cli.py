@@ -1,0 +1,134 @@
+"""``python -m repro.lint`` command-line interface.
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
+``--format json`` emits a machine-readable document (stable key order)
+for CI consumption; ``--list-rules`` prints the rule catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.lint.engine import iter_python_files, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.policy import PROFILE_RULES, LintPolicy, load_policy
+from repro.lint.registry import all_rules
+
+__all__ = ["main", "build_parser", "render_text", "render_json"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static analysis for determinism, seeding and numerical-safety "
+            "invariants (rules R001-R008)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: paths from pyproject)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro-lint] from",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and use built-in defaults",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILE_RULES),
+        default=None,
+        help="force one profile for every file (overrides path scoping)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def render_text(findings: Sequence[Finding], stream: TextIO) -> None:
+    for finding in findings:
+        print(finding.render(), file=stream)
+    n = len(findings)
+    if n:
+        print(f"{n} finding{'s' if n != 1 else ''}", file=stream)
+    else:
+        print("clean: no findings", file=stream)
+
+
+def render_json(
+    findings: Sequence[Finding], files_checked: int, stream: TextIO
+) -> None:
+    doc = {
+        "version": 1,
+        "files_checked": files_checked,
+        "rules_active": sorted(all_rules()),
+        "counts": _counts(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    json.dump(doc, stream, indent=2, sort_keys=False)
+    stream.write("\n")
+
+
+def _counts(findings: Sequence[Finding]) -> dict:
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _render_catalog(stream: TextIO) -> None:
+    for rule_id, rule in sorted(all_rules().items()):
+        print(f"{rule_id} ({rule.name}): {rule.description}", file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _render_catalog(sys.stdout)
+        return 0
+
+    try:
+        if args.no_config:
+            policy = LintPolicy(forced_profile=args.profile)
+        else:
+            policy = load_policy(args.config, forced_profile=args.profile)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths: List[str] = list(args.paths) or list(policy.paths)
+    try:
+        files = list(iter_python_files(paths))
+        findings = lint_paths(paths, policy)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        render_json(findings, len(files), sys.stdout)
+    else:
+        render_text(findings, sys.stdout)
+    return 1 if findings else 0

@@ -1,0 +1,164 @@
+"""Lint engine: parse modules, dispatch rules, filter suppressions.
+
+The engine is the only component that touches the filesystem; rules see
+a fully-prepared :class:`~repro.lint.registry.LintContext` with the AST,
+an import-alias map, and the governing profile already resolved.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.policy import LintPolicy
+from repro.lint.registry import LintContext, Rule, all_rules
+
+__all__ = ["build_alias_map", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+#: Directories never descended into when expanding path arguments.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist", "node_modules"}
+)
+
+
+def build_alias_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted import paths.
+
+    ``import numpy as np`` yields ``np -> numpy``;
+    ``from numpy.random import default_rng as rng`` yields
+    ``rng -> numpy.random.default_rng``.  Relative imports are skipped
+    (their absolute module is unknown without package context).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _suppressed_rules(line: str) -> Optional[frozenset]:
+    """Rule IDs disabled by a ``# repro-lint: disable=...`` comment, if any."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    ids = frozenset(
+        token.strip().upper()
+        for token in match.group(1).split(",")
+        if token.strip()
+    )
+    return ids
+
+
+def _is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not (1 <= finding.line <= len(lines)):
+        return False
+    ids = _suppressed_rules(lines[finding.line - 1])
+    if ids is None:
+        return False
+    return "ALL" in ids or finding.rule in ids
+
+
+def lint_source(
+    source: str,
+    path: str,
+    policy: LintPolicy,
+    *,
+    rules: Optional[Dict[str, Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source text under ``policy``.
+
+    Returns sorted findings after profile selection, per-line suppression
+    and baseline filtering.  Syntax errors surface as a single ``E999``
+    finding rather than an exception so one broken file cannot hide the
+    rest of the run.
+    """
+    profile = policy.profile_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="E999",
+                message=f"syntax error: {exc.msg}",
+                profile=profile,
+            )
+        ]
+
+    lines = source.splitlines()
+    ctx = LintContext(
+        path=path,
+        source=source,
+        tree=tree,
+        profile=profile,
+        aliases=build_alias_map(tree),
+        lines=tuple(lines),
+    )
+    enabled = policy.rules_for(path)
+    active = rules if rules is not None else all_rules()
+
+    findings: List[Finding] = []
+    for rule_id, rule in active.items():
+        if rule_id not in enabled:
+            continue
+        findings.extend(rule.check(ctx))
+
+    findings = [
+        f
+        for f in findings
+        if not _is_suppressed(f, lines) and not policy.is_baselined(f.rule, f.path)
+    ]
+    return sorted(findings)
+
+
+def lint_file(path: Path, policy: LintPolicy) -> List[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), policy)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root] if root.suffix == ".py" else []
+        elif root.is_dir():
+            candidates = sorted(
+                p
+                for p in root.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def lint_paths(paths: Sequence[str], policy: LintPolicy) -> List[Finding]:
+    """Lint every Python file under ``paths``; sorted combined findings."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, policy))
+    return sorted(findings)

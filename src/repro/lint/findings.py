@@ -1,0 +1,44 @@
+"""The :class:`Finding` record produced by lint rules.
+
+A finding pins one rule violation to one source location.  Findings are
+plain frozen dataclasses so they sort, hash and serialise trivially --
+the JSON output of the CLI is exactly ``[f.to_dict() for f in findings]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule) so a sorted finding list reads
+    like a compiler log.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    profile: str = "strict"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "profile": self.profile,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable representation (``--format text``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

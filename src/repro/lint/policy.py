@@ -1,0 +1,174 @@
+"""Path-scoped lint policy: profiles, config loading, baselines.
+
+Kernel code (``repro.core``, ``repro.simulator``, ``repro.problems``,
+``repro.utils``, ``repro.fem``, ``repro.lint``) gets the **strict**
+profile -- every rule.  Driver code (``repro.experiments``, benchmarks,
+examples, tests) gets the **relaxed** profile, which keeps the seeding
+and picklability rules but drops the purity rules that only matter
+inside kernels (wall-clock, float equality, alpha validation, set
+iteration).
+
+The defaults below are overridable from ``pyproject.toml``::
+
+    [tool.repro-lint]
+    paths = ["src", "benchmarks", "examples"]
+    baseline = []                       # "R006:src/legacy/*.py" entries
+
+    [tool.repro-lint.profiles]
+    strict = ["src/repro/core", ...]
+    relaxed = ["src/repro/experiments", ...]
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "PROFILE_RULES",
+    "DEFAULT_PROFILE_PATHS",
+    "LintPolicy",
+    "load_policy",
+]
+
+#: Rule sets per profile.  ``relaxed`` keeps determinism-of-seeding rules
+#: (R001/R002/R006/R008) but drops kernel-purity rules (R003/R004/R005/R007).
+PROFILE_RULES: Mapping[str, FrozenSet[str]] = {
+    "strict": frozenset(
+        {"R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"}
+    ),
+    "relaxed": frozenset({"R001", "R002", "R006", "R008"}),
+}
+
+#: Longest-prefix-wins mapping of repo-relative path prefixes to profiles.
+DEFAULT_PROFILE_PATHS: Tuple[Tuple[str, str], ...] = (
+    ("src/repro/core", "strict"),
+    ("src/repro/simulator", "strict"),
+    ("src/repro/problems", "strict"),
+    ("src/repro/utils", "strict"),
+    ("src/repro/fem", "strict"),
+    ("src/repro/lint", "strict"),
+    ("src/repro/experiments", "relaxed"),
+    ("benchmarks", "relaxed"),
+    ("examples", "relaxed"),
+    ("tests", "relaxed"),
+)
+
+DEFAULT_PATHS: Tuple[str, ...] = ("src", "benchmarks", "examples")
+
+
+@dataclass(frozen=True)
+class LintPolicy:
+    """Resolved lint configuration for one run."""
+
+    paths: Tuple[str, ...] = DEFAULT_PATHS
+    profile_paths: Tuple[Tuple[str, str], ...] = DEFAULT_PROFILE_PATHS
+    default_profile: str = "strict"
+    baseline: Tuple[str, ...] = ()
+    forced_profile: Optional[str] = None
+
+    def profile_for(self, path: str) -> str:
+        """Profile name governing ``path`` (repo-relative, posix slashes)."""
+        if self.forced_profile is not None:
+            return self.forced_profile
+        rel = _normalize(path)
+        best: Optional[Tuple[int, str]] = None
+        for prefix, profile in self.profile_paths:
+            norm = _normalize(prefix)
+            if rel == norm or rel.startswith(norm + "/"):
+                if best is None or len(norm) > best[0]:
+                    best = (len(norm), profile)
+        return best[1] if best is not None else self.default_profile
+
+    def rules_for(self, path: str) -> FrozenSet[str]:
+        """Rule IDs enabled for ``path`` under its profile."""
+        profile = self.profile_for(path)
+        try:
+            return PROFILE_RULES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown lint profile {profile!r} (have {sorted(PROFILE_RULES)})"
+            ) from None
+
+    def is_baselined(self, rule: str, path: str) -> bool:
+        """True if a ``RULE:glob`` baseline entry waives ``rule`` at ``path``."""
+        rel = _normalize(path)
+        for entry in self.baseline:
+            want_rule, _, pattern = entry.partition(":")
+            if want_rule != rule or not pattern:
+                continue
+            if fnmatch.fnmatch(rel, _normalize(pattern)):
+                return True
+        return False
+
+
+def _normalize(path: str) -> str:
+    """Repo-relative posix form of ``path`` (best effort for abs paths)."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix().lstrip("./")
+
+
+def _load_toml(path: Path) -> Mapping[str, object]:
+    import tomllib
+
+    with path.open("rb") as fh:
+        return tomllib.load(fh)
+
+
+def load_policy(
+    config_path: Optional[Path] = None,
+    *,
+    forced_profile: Optional[str] = None,
+) -> LintPolicy:
+    """Build a :class:`LintPolicy`, merging ``[tool.repro-lint]`` if present.
+
+    ``config_path`` defaults to ``pyproject.toml`` in the current
+    directory; a missing file (or missing table) yields the defaults.
+    """
+    if config_path is None:
+        config_path = Path("pyproject.toml")
+    paths: Tuple[str, ...] = DEFAULT_PATHS
+    profile_paths: List[Tuple[str, str]] = list(DEFAULT_PROFILE_PATHS)
+    default_profile = "strict"
+    baseline: Tuple[str, ...] = ()
+
+    if config_path.is_file():
+        data = _load_toml(config_path)
+        tool = data.get("tool", {})
+        section = tool.get("repro-lint", {}) if isinstance(tool, dict) else {}
+        if isinstance(section, dict):
+            if isinstance(section.get("paths"), list):
+                paths = tuple(str(p) for p in section["paths"])
+            if isinstance(section.get("baseline"), list):
+                baseline = tuple(str(b) for b in section["baseline"])
+            if isinstance(section.get("default-profile"), str):
+                default_profile = section["default-profile"]
+            profiles = section.get("profiles")
+            if isinstance(profiles, dict):
+                profile_paths = []
+                for profile, prefixes in profiles.items():
+                    if profile not in PROFILE_RULES:
+                        raise ValueError(
+                            f"pyproject [tool.repro-lint.profiles] names "
+                            f"unknown profile {profile!r}"
+                        )
+                    if not isinstance(prefixes, list):
+                        raise ValueError(
+                            f"profile {profile!r} must map to a list of paths"
+                        )
+                    profile_paths.extend((str(p), profile) for p in prefixes)
+
+    return LintPolicy(
+        paths=paths,
+        profile_paths=tuple(profile_paths),
+        default_profile=default_profile,
+        baseline=baseline,
+        forced_profile=forced_profile,
+    )

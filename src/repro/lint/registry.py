@@ -1,0 +1,117 @@
+"""Rule plugin registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+the engine iterates :func:`all_rules` and the policy layer selects the
+subset enabled for a file's profile.  Registering two rules under the
+same ID is a programming error and raises immediately.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Type
+
+from repro.lint.findings import Finding
+
+__all__ = ["LintContext", "Rule", "register", "all_rules", "get_rule", "rule_ids"]
+
+_RULE_ID_RE = re.compile(r"^R\d{3}$")
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult about the module under analysis.
+
+    ``aliases`` maps local names to canonical dotted import paths, e.g.
+    ``{"np": "numpy", "default_rng": "numpy.random.default_rng"}`` --
+    built once per module by the engine so every rule resolves
+    ``np.random.X`` and ``from numpy.random import X`` uniformly.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    profile: str = "strict"
+    aliases: Dict[str, str] = field(default_factory=dict)
+    lines: Tuple[str, ...] = ()
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, or None.
+
+        ``np.random.default_rng`` resolves to
+        ``"numpy.random.default_rng"`` when ``np`` aliases ``numpy``.
+        Chains rooted in anything other than a recorded import resolve
+        to their literal dotted spelling (so ``time.time`` still works
+        when ``import time`` recorded ``time -> time``).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings.  ``rule_id`` must match ``R\\d{3}``; ``rationale``
+    feeds the generated rule catalog and ``bad``/``good`` give the
+    minimal failing and fixed snippets shown in docs and exercised by
+    the per-rule unit tests.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+    bad: str = ""
+    good: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding for ``node`` with this rule's ID."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+            profile=ctx.profile,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_RE.match(cls.rule_id):
+        raise ValueError(f"bad rule id {cls.rule_id!r} on {cls.__name__}")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> Mapping[str, Rule]:
+    """Registered rules keyed by ID (insertion-ordered)."""
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule; raises KeyError for unknown IDs."""
+    return _REGISTRY[rule_id]
+
+
+def rule_ids() -> List[str]:
+    """Sorted list of registered rule IDs."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,469 @@
+"""The built-in rule set (R001–R008).
+
+Each rule machine-enforces one invariant the reproduction's correctness
+argument rests on: explicit SplitMix64-style seeding (Theorem 3's
+``PHF == HF`` equality requires every bisection to be a pure function of
+its node seed), bit-identical reductions for any ``n_jobs``, and the
+``0 < α ≤ 1/2`` precondition of Definition 1.  Rules are deliberately
+syntactic -- no type inference -- so every finding is cheap to verify
+by eye and suppressible per line with ``# repro-lint: disable=R00x``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Union
+
+from repro.lint.findings import Finding
+from repro.lint.registry import LintContext, Rule, register
+
+__all__ = [
+    "UnseededRngRule",
+    "GlobalRandomRule",
+    "WallClockRule",
+    "FloatEqualityRule",
+    "AlphaValidationRule",
+    "SeedKeywordOnlyRule",
+    "SetIterationRule",
+    "PoolPicklableRule",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: numpy.random module-level functions that mutate hidden global state.
+_NP_GLOBAL_STATE = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "normal", "uniform", "choice", "shuffle",
+        "permutation", "standard_normal", "exponential", "poisson",
+        "binomial", "beta", "gamma", "lognormal", "pareto", "weibull",
+        "geometric", "bytes",
+    }
+)
+
+#: Callables whose return value depends on the wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.asctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Executor / pool methods that pickle their callable into a child process.
+_POOL_SUBMIT_METHODS = frozenset(
+    {
+        "submit", "map", "starmap", "apply", "apply_async",
+        "map_async", "starmap_async", "imap", "imap_unordered",
+    }
+)
+
+
+def _function_nodes(tree: ast.Module) -> Iterator[FunctionNode]:
+    """All function/method definitions in the module, any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _positional_params(fn: FunctionNode) -> List[ast.arg]:
+    """Positionally-bindable parameters, with leading self/cls stripped."""
+    params = list(fn.args.posonlyargs) + list(fn.args.args)
+    if params and params[0].arg in ("self", "cls"):
+        params = params[1:]
+    return params
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.Lambda):
+                visit(child, True)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+@register
+class UnseededRngRule(Rule):
+    rule_id = "R001"
+    name = "unseeded-rng"
+    description = (
+        "numpy Generators must be constructed from an explicit seed; "
+        "numpy.random module-level distribution calls use hidden global state."
+    )
+    rationale = (
+        "An unseeded Generator draws OS entropy, so two runs of the same "
+        "experiment disagree and the PHF == HF bit-equality of Theorem 3 "
+        "becomes unverifiable.  All randomness must flow from the "
+        "SplitMix64 discipline in repro.utils.rng."
+    )
+    bad = "import numpy as np\nrng = np.random.default_rng()\n"
+    good = "import numpy as np\nrng = np.random.default_rng(seed)\n"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target == "numpy.random.default_rng":
+                unseeded = not node.args and not node.keywords
+                none_arg = (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                if unseeded or none_arg:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "numpy.random.default_rng() without an explicit seed; "
+                        "derive one via repro.utils.rng (split_seed/child_seed)",
+                    )
+            elif (
+                target is not None
+                and target.startswith("numpy.random.")
+                and target.rsplit(".", 1)[1] in _NP_GLOBAL_STATE
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{target}() uses numpy's hidden global RNG state; "
+                    "use an explicitly seeded Generator instead",
+                )
+
+
+@register
+class GlobalRandomRule(Rule):
+    rule_id = "R002"
+    name = "global-random"
+    description = "the stdlib `random` module (process-global state) is banned."
+    rationale = (
+        "`random` shares one mutable state across the whole process, so any "
+        "import -- even in a helper -- lets library code perturb experiment "
+        "streams.  Worker processes fork that state and silently correlate "
+        "trials across n_jobs."
+    )
+    bad = "import random\nx = random.random()\n"
+    good = "rng = np.random.default_rng(seed)\nx = rng.random()\n"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of stdlib `random` (process-global RNG state); "
+                            "use numpy Generators seeded via repro.utils.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "from-import of stdlib `random` (process-global RNG "
+                        "state); use numpy Generators seeded via repro.utils.rng",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "R003"
+    name = "wall-clock"
+    description = (
+        "wall-clock reads (time.time, datetime.now, ...) are nondeterministic "
+        "inputs and are banned in kernel paths."
+    )
+    rationale = (
+        "Kernel code (repro.core / repro.simulator / repro.problems) must be "
+        "a pure function of its inputs; a wall-clock read is an untracked "
+        "input that breaks replay.  Timing measurements belong in driver "
+        "code and should use time.perf_counter, which R003 permits."
+    )
+    bad = "import time\nstamp = time.time()\n"
+    good = "import time\nelapsed = time.perf_counter() - t0\n"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{target}() reads the wall clock (nondeterministic); "
+                    "use time.perf_counter for durations or pass timestamps in",
+                )
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "R004"
+    name = "float-equality"
+    description = (
+        "`==`/`!=` against float literals or ratio expressions is banned in "
+        "core/metrics code; use a tolerance helper."
+    )
+    rationale = (
+        "Weights and ratios accumulate rounding differently along different "
+        "merge orders; exact float comparison makes results depend on "
+        "n_jobs and platform.  Route comparisons through "
+        "repro.utils.mathutils.feq / is_zero."
+    )
+    bad = "if ratio == 1.0:\n    pass\n"
+    good = "from repro.utils.mathutils import feq\nif feq(ratio, 1.0):\n    pass\n"
+
+    @staticmethod
+    def _float_risky(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        if isinstance(node, ast.UnaryOp):
+            return FloatEqualityRule._float_risky(node.operand)
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands: List[ast.expr] = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._float_risky(left) or self._float_risky(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact float ==/!= comparison; use "
+                        "repro.utils.mathutils.feq/is_zero (tolerance-based)",
+                    )
+                    break
+
+
+@register
+class AlphaValidationRule(Rule):
+    rule_id = "R005"
+    name = "alpha-validated"
+    description = (
+        "public functions taking an `alpha` parameter must validate it "
+        "(check_alpha or an explicit range check) or delegate it onward."
+    )
+    rationale = (
+        "Definition 1 requires 0 < alpha <= 1/2; outside that range the "
+        "bound formulas of Theorems 2-4 silently produce garbage (negative "
+        "logs, division by zero).  Validation at every public entry point "
+        "keeps the precondition machine-checked."
+    )
+    bad = "def depth(alpha):\n    return 1.0 / alpha\n"
+    good = "def depth(alpha):\n    alpha = check_alpha(alpha)\n    return 1.0 / alpha\n"
+
+    @staticmethod
+    def _param_names(fn: FunctionNode) -> List[str]:
+        args = fn.args
+        return [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+    @staticmethod
+    def _body_handles_alpha(fn: FunctionNode) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                target = node.func
+                callee = target.attr if isinstance(target, ast.Attribute) else (
+                    target.id if isinstance(target, ast.Name) else ""
+                )
+                if callee == "check_alpha":
+                    return True
+                # Delegation: alpha handed to another callable, which is
+                # where check_alpha becomes reachable.
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id == "alpha":
+                        return True
+                    if isinstance(arg, ast.Starred):
+                        continue
+                for kw in node.keywords:
+                    if isinstance(kw.value, ast.Name) and kw.value.id == "alpha":
+                        return True
+            elif isinstance(node, ast.Compare):
+                # Only ordered comparisons count as a range check;
+                # `alpha is not None` alone does not validate anything.
+                if not any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops
+                ):
+                    continue
+                for operand in (node.left, *node.comparators):
+                    if isinstance(operand, ast.Name) and operand.id == "alpha":
+                        return True
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for fn in _function_nodes(ctx.tree):
+            if fn.name.startswith("_") and fn.name != "__init__":
+                continue
+            if "alpha" not in self._param_names(fn):
+                continue
+            if not self._body_handles_alpha(fn):
+                yield self.finding(
+                    ctx,
+                    fn,
+                    f"function `{fn.name}` takes `alpha` but neither "
+                    "validates it (check_alpha / range check) nor passes it on",
+                )
+
+
+@register
+class SeedKeywordOnlyRule(Rule):
+    rule_id = "R006"
+    name = "seed-keyword-only"
+    description = (
+        "public functions taking a `seed` parameter must declare it "
+        "keyword-only (unless seed is the sole leading subject argument)."
+    )
+    rationale = (
+        "A positional seed gets silently swallowed by an argument-order "
+        "change, re-seeding every caller with a different stream.  "
+        "Keyword-only seeds make seeding explicit at every call site and "
+        "grep-able across the tree."
+    )
+    bad = "def run(n, seed=0):\n    pass\n"
+    good = "def run(n, *, seed=0):\n    pass\n"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for fn in _function_nodes(ctx.tree):
+            if fn.name.startswith("_") and fn.name != "__init__":
+                continue
+            params = _positional_params(fn)
+            for index, param in enumerate(params):
+                if param.arg == "seed" and index > 0:
+                    yield self.finding(
+                        ctx,
+                        fn,
+                        f"`seed` is positionally bindable in `{fn.name}`; "
+                        "declare it keyword-only (after `*`)",
+                    )
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "R007"
+    name = "set-iteration"
+    description = (
+        "iterating directly over a set literal / set() call is banned: "
+        "ordering varies across processes and hash seeds."
+    )
+    rationale = (
+        "Reduction and merge paths must visit elements in one canonical "
+        "order or parallel results stop being bit-identical to the scalar "
+        "path.  Python set iteration order depends on insertion history "
+        "and PYTHONHASHSEED; wrap the set in sorted(...)."
+    )
+    bad = "for n in {3, 1, 2}:\n    pass\n"
+    good = "for n in sorted({3, 1, 2}):\n    pass\n"
+
+    @staticmethod
+    def _is_bare_set(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_bare_set(it):
+                    yield self.finding(
+                        ctx,
+                        it,
+                        "iteration over a bare set (order depends on hash "
+                        "seed / insertion history); iterate sorted(...) instead",
+                    )
+
+
+@register
+class PoolPicklableRule(Rule):
+    rule_id = "R008"
+    name = "pool-picklable"
+    description = (
+        "callables submitted to process pools must be module-level "
+        "functions, not lambdas or closures."
+    )
+    rationale = (
+        "Process pools pickle the callable; lambdas and nested functions "
+        "either fail to pickle or -- worse -- capture Generator state that "
+        "forks differently per worker, decorrelating trial streams.  "
+        "Module-level functions keep the task payload explicit and "
+        "reproducible."
+    )
+    bad = (
+        "with ProcessPoolExecutor() as pool:\n"
+        "    fut = pool.submit(lambda: work(1))\n"
+    )
+    good = (
+        "def run_one(i):\n    return work(i)\n\n"
+        "with ProcessPoolExecutor() as pool:\n"
+        "    fut = pool.submit(run_one, 1)\n"
+    )
+
+    @staticmethod
+    def _uses_process_pools(ctx: LintContext) -> bool:
+        if any(v.startswith("multiprocessing") for v in ctx.aliases.values()):
+            return True
+        return "ProcessPoolExecutor" in ctx.source
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not self._uses_process_pools(ctx):
+            return
+        nested = _nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _POOL_SUBMIT_METHODS
+            ):
+                continue
+            if not node.args:
+                continue
+            payload = node.args[0]
+            if isinstance(payload, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    payload,
+                    f"lambda submitted to .{func.attr}(); process pools "
+                    "need a picklable module-level function",
+                )
+            elif isinstance(payload, ast.Name) and payload.id in nested:
+                yield self.finding(
+                    ctx,
+                    payload,
+                    f"nested function `{payload.id}` submitted to "
+                    f".{func.attr}(); move it to module level so it pickles "
+                    "without capturing local state",
+                )

@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.problem import BisectableProblem
+from repro.core.problem import BisectableProblem, check_alpha
 
 __all__ = ["GridDomainProblem", "gaussian_hotspot_density", "uniform_density"]
 
@@ -94,7 +94,7 @@ class GridDomainProblem(BisectableProblem):
             raise ValueError(f"invalid region {region} for grid {density.shape}")
         self._region = (r0, r1, c0, c1)
         self._weight = self._rect_sum(r0, r1, c0, c1)
-        self._alpha = alpha
+        self._alpha = None if alpha is None else check_alpha(alpha)
 
     # ------------------------------------------------------------------
 

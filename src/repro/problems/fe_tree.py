@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.problem import BisectableProblem
+from repro.core.problem import BisectableProblem, check_alpha
 
 __all__ = ["FENode", "FETreeProblem", "random_fe_tree"]
 
@@ -84,7 +84,7 @@ class FETreeProblem(BisectableProblem):
             raise ValueError("root must be an FENode")
         self._root = root
         self._weight = root.total_cost()
-        self._alpha = alpha
+        self._alpha = None if alpha is None else check_alpha(alpha)
 
     # ------------------------------------------------------------------
 

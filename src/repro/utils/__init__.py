@@ -8,8 +8,10 @@ from repro.utils.rng import (
 )
 from repro.utils.mathutils import (
     ceil_div,
+    feq,
     ilog2,
     is_power_of_two,
+    is_zero,
     next_power_of_two,
 )
 
@@ -19,7 +21,9 @@ __all__ = [
     "ensure_generator",
     "split_seed",
     "ceil_div",
+    "feq",
     "ilog2",
     "is_power_of_two",
+    "is_zero",
     "next_power_of_two",
 ]

@@ -2,7 +2,24 @@
 
 from __future__ import annotations
 
-__all__ = ["ceil_div", "ilog2", "is_power_of_two", "next_power_of_two"]
+import math
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "feq",
+    "is_zero",
+]
+
+#: Default relative tolerance for float comparisons: weights and ratios
+#: accumulate O(n) rounding steps, so 1e-9 is comfortably above double
+#: rounding noise yet far below any physically meaningful difference.
+DEFAULT_REL_TOL = 1e-9
+
+#: Default absolute tolerance for comparisons against zero.
+DEFAULT_ABS_TOL = 1e-12
 
 
 def ceil_div(a: int, b: int) -> int:
@@ -33,3 +50,28 @@ def next_power_of_two(n: int) -> int:
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
     return 1 << ilog2(n)
+
+
+def feq(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Tolerance-based float equality (the R004-sanctioned ``==``).
+
+    Weights and ratios accumulate rounding differently along different
+    merge orders, so exact ``==`` makes results depend on ``n_jobs``;
+    every float equality test in core/metrics code routes through here.
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(x: float, *, abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """Whether ``x`` is zero up to absolute tolerance ``abs_tol``.
+
+    Relative tolerance is meaningless against zero, so this is a pure
+    absolute-threshold test (``abs_tol=0.0`` recovers exact ``== 0``).
+    """
+    return abs(x) <= abs_tol

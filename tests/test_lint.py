@@ -1,0 +1,472 @@
+"""Tests for the repro.lint static-analysis subsystem.
+
+Covers: each rule firing on a minimal bad snippet and staying quiet on
+the fixed version, per-line suppression comments, the JSON output
+format, strict-vs-relaxed path scoping, pyproject config loading, the
+CLI exit codes -- and the repo-wide self-check that gates the tree.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintPolicy,
+    all_rules,
+    lint_paths,
+    lint_source,
+    load_policy,
+    main,
+    rule_ids,
+)
+from repro.lint.policy import DEFAULT_PROFILE_PATHS, PROFILE_RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT = LintPolicy(forced_profile="strict")
+
+#: a path the default policy maps to the strict profile
+CORE_PATH = "src/repro/core/example.py"
+#: a path the default policy maps to the relaxed profile
+DRIVER_PATH = "src/repro/experiments/example.py"
+
+
+def rules_hit(source, path=CORE_PATH, policy=STRICT):
+    return sorted({f.rule for f in lint_source(source, path, policy)})
+
+
+# ----------------------------------------------------------------------
+# Rule catalog basics
+# ----------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_at_least_eight_rules_registered(self):
+        assert len(all_rules()) >= 8
+        assert rule_ids() == sorted(all_rules())
+
+    def test_every_rule_documents_itself(self):
+        for rule_id, rule in all_rules().items():
+            assert rule.rule_id == rule_id
+            for attr in ("name", "description", "rationale", "bad", "good"):
+                assert getattr(rule, attr), f"{rule_id} missing {attr}"
+
+    def test_catalog_bad_snippets_fire_and_good_snippets_are_quiet(self):
+        """The docs' own examples are kept honest by the test suite."""
+        for rule_id, rule in all_rules().items():
+            assert rule_id in rules_hit(rule.bad), f"{rule_id}.bad must fire"
+            assert rules_hit(rule.good) == [], f"{rule_id}.good must be clean"
+
+
+# ----------------------------------------------------------------------
+# Per-rule unit tests on fixture snippets
+# ----------------------------------------------------------------------
+
+
+class TestR001UnseededRng:
+    def test_unseeded_default_rng_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_hit(src) == ["R001"]
+
+    def test_explicit_none_seed_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng(None)\n"
+        assert rules_hit(src) == ["R001"]
+
+    def test_seeded_default_rng_quiet(self):
+        src = "import numpy as np\nrng = np.random.default_rng(1234)\n"
+        assert rules_hit(src) == []
+
+    def test_from_import_alias_resolved(self):
+        src = "from numpy.random import default_rng as mk\nrng = mk()\n"
+        assert rules_hit(src) == ["R001"]
+
+    def test_module_level_distribution_fires(self):
+        src = "import numpy as np\nx = np.random.normal(0, 1)\n"
+        assert rules_hit(src) == ["R001"]
+
+    def test_generator_method_quiet(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.normal(0, 1)\n"
+        )
+        assert rules_hit(src) == []
+
+
+class TestR002GlobalRandom:
+    def test_import_random_fires(self):
+        assert rules_hit("import random\n") == ["R002"]
+
+    def test_from_random_import_fires(self):
+        assert rules_hit("from random import choice\n") == ["R002"]
+
+    def test_numpy_random_import_quiet(self):
+        assert rules_hit("import numpy.random\n") == []
+
+    def test_name_containing_random_quiet(self):
+        assert rules_hit("import randomstate_like_lib\n") == []
+
+
+class TestR003WallClock:
+    def test_time_time_fires(self):
+        src = "import time\nstamp = time.time()\n"
+        assert rules_hit(src) == ["R003"]
+
+    def test_perf_counter_quiet(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert rules_hit(src) == []
+
+    def test_datetime_now_fires_via_from_import(self):
+        src = "from datetime import datetime\nnow = datetime.now()\n"
+        assert rules_hit(src) == ["R003"]
+
+    def test_aliased_import_resolved(self):
+        src = "import time as clock\nstamp = clock.time()\n"
+        assert rules_hit(src) == ["R003"]
+
+
+class TestR004FloatEquality:
+    def test_float_literal_eq_fires(self):
+        assert rules_hit("ok = x == 1.0\n") == ["R004"]
+
+    def test_float_literal_ne_fires(self):
+        assert rules_hit("ok = 0.5 != y\n") == ["R004"]
+
+    def test_ratio_expression_fires(self):
+        assert rules_hit("ok = a / b == c\n") == ["R004"]
+
+    def test_int_literal_quiet(self):
+        assert rules_hit("ok = x == 1\n") == []
+
+    def test_ordered_comparison_quiet(self):
+        assert rules_hit("ok = x <= 1.0\n") == []
+
+    def test_feq_call_quiet(self):
+        src = "from repro.utils.mathutils import feq\nok = feq(x, 1.0)\n"
+        assert rules_hit(src) == []
+
+
+class TestR005AlphaValidation:
+    def test_unvalidated_alpha_fires(self):
+        src = "def depth(alpha):\n    return 2 * alpha\n"
+        assert rules_hit(src) == ["R005"]
+
+    def test_check_alpha_quiet(self):
+        src = (
+            "def depth(alpha):\n"
+            "    alpha = check_alpha(alpha)\n"
+            "    return 2 * alpha\n"
+        )
+        assert rules_hit(src) == []
+
+    def test_range_check_quiet(self):
+        src = (
+            "def depth(alpha):\n"
+            "    if not 0 < alpha <= 0.5:\n"
+            "        raise ValueError(alpha)\n"
+            "    return 2 * alpha\n"
+        )
+        assert rules_hit(src) == []
+
+    def test_delegation_quiet(self):
+        src = "def depth(alpha):\n    return inner(alpha) + 1\n"
+        assert rules_hit(src) == []
+
+    def test_is_none_check_alone_still_fires(self):
+        src = (
+            "class P:\n"
+            "    def __init__(self, alpha=None):\n"
+            "        if alpha is not None:\n"
+            "            self._a = alpha\n"
+        )
+        assert rules_hit(src) == ["R005"]
+
+    def test_private_function_exempt(self):
+        src = "def _helper(alpha):\n    return 2 * alpha\n"
+        assert rules_hit(src) == []
+
+
+class TestR006SeedKeywordOnly:
+    def test_positional_seed_fires(self):
+        src = "def run(n, seed=0):\n    pass\n"
+        assert rules_hit(src) == ["R006"]
+
+    def test_keyword_only_seed_quiet(self):
+        src = "def run(n, *, seed=0):\n    pass\n"
+        assert rules_hit(src) == []
+
+    def test_seed_as_leading_subject_allowed(self):
+        src = "def split_seed(seed, index):\n    return seed ^ index\n"
+        assert rules_hit(src) == []
+
+    def test_method_self_is_skipped(self):
+        src = (
+            "class Factory:\n"
+            "    def __init__(self, root, seed=0):\n"
+            "        pass\n"
+        )
+        assert rules_hit(src) == ["R006"]
+
+    def test_private_function_exempt(self):
+        src = "def _run(n, seed=0):\n    pass\n"
+        assert rules_hit(src) == []
+
+
+class TestR007SetIteration:
+    def test_for_over_set_literal_fires(self):
+        assert rules_hit("for x in {3, 1, 2}:\n    pass\n") == ["R007"]
+
+    def test_for_over_set_call_fires(self):
+        assert rules_hit("for x in set(items):\n    pass\n") == ["R007"]
+
+    def test_comprehension_over_set_fires(self):
+        assert rules_hit("out = [f(x) for x in set(items)]\n") == ["R007"]
+
+    def test_sorted_set_quiet(self):
+        assert rules_hit("for x in sorted(set(items)):\n    pass\n") == []
+
+    def test_list_iteration_quiet(self):
+        assert rules_hit("for x in [3, 1, 2]:\n    pass\n") == []
+
+    def test_membership_test_quiet(self):
+        assert rules_hit("ok = x in {1, 2, 3}\n") == []
+
+
+class TestR008PoolPicklable:
+    POOL_PREFIX = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "with ProcessPoolExecutor() as pool:\n"
+    )
+
+    def test_lambda_submission_fires(self):
+        src = self.POOL_PREFIX + "    fut = pool.submit(lambda: 1)\n"
+        assert rules_hit(src) == ["R008"]
+
+    def test_nested_function_submission_fires(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def driver(xs):\n"
+            "    def work(x):\n"
+            "        return x + 1\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert rules_hit(src) == ["R008"]
+
+    def test_module_level_function_quiet(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(x):\n"
+            "    return x + 1\n"
+            "def driver(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert rules_hit(src) == []
+
+    def test_rule_inert_without_process_pools(self):
+        # .map on arbitrary objects is not this rule's business unless
+        # process-pool machinery is in scope.
+        src = "out = thing.map(lambda x: x + 1, xs)\n"
+        assert rules_hit(src) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_disable_suppresses_named_rule(self):
+        src = "ok = x == 1.0  # repro-lint: disable=R004\n"
+        assert rules_hit(src) == []
+
+    def test_disable_all_suppresses_everything(self):
+        src = "import random  # repro-lint: disable=all\n"
+        assert rules_hit(src) == []
+
+    def test_disable_other_rule_does_not_suppress(self):
+        src = "ok = x == 1.0  # repro-lint: disable=R001\n"
+        assert rules_hit(src) == ["R004"]
+
+    def test_comma_separated_list(self):
+        src = (
+            "import time\n"
+            "bad = time.time() == 1.0  # repro-lint: disable=R003, R004\n"
+        )
+        assert rules_hit(src) == []
+
+    def test_suppression_is_line_scoped(self):
+        src = (
+            "ok = x == 1.0  # repro-lint: disable=R004\n"
+            "bad = y == 2.0\n"
+        )
+        findings = lint_source(src, CORE_PATH, STRICT)
+        assert [f.line for f in findings] == [2]
+
+
+# ----------------------------------------------------------------------
+# Policy: profiles, path scoping, baseline, config loading
+# ----------------------------------------------------------------------
+
+WALL_CLOCK_SRC = "import time\nstamp = time.time()\n"
+
+
+class TestPolicyScoping:
+    def test_default_profile_map_covers_kernel_and_driver_code(self):
+        policy = LintPolicy()
+        assert policy.profile_for("src/repro/core/hf.py") == "strict"
+        assert policy.profile_for("src/repro/simulator/engine.py") == "strict"
+        assert policy.profile_for("src/repro/problems/domain.py") == "strict"
+        assert policy.profile_for("src/repro/experiments/report.py") == "relaxed"
+        assert policy.profile_for("benchmarks/bench_batch.py") == "relaxed"
+        assert policy.profile_for("examples/quickstart.py") == "relaxed"
+
+    def test_unmapped_path_gets_default_profile(self):
+        assert LintPolicy().profile_for("scripts/oneoff.py") == "strict"
+
+    def test_relaxed_profile_drops_kernel_purity_rules(self):
+        policy = LintPolicy()
+        assert lint_source(WALL_CLOCK_SRC, CORE_PATH, policy) != []
+        assert lint_source(WALL_CLOCK_SRC, DRIVER_PATH, policy) == []
+
+    def test_relaxed_profile_keeps_seeding_rules(self):
+        src = "import random\n"
+        assert rules_hit(src, DRIVER_PATH, LintPolicy()) == ["R002"]
+
+    def test_forced_profile_overrides_scoping(self):
+        policy = LintPolicy(forced_profile="strict")
+        assert lint_source(WALL_CLOCK_SRC, DRIVER_PATH, policy) != []
+
+    def test_profile_rule_sets_are_consistent(self):
+        assert PROFILE_RULES["relaxed"] < PROFILE_RULES["strict"]
+        assert set(rule_ids()) == set(PROFILE_RULES["strict"])
+
+    def test_baseline_waives_rule_at_matching_path(self):
+        policy = LintPolicy(baseline=("R003:src/repro/core/legacy_*.py",))
+        assert lint_source(WALL_CLOCK_SRC, "src/repro/core/legacy_x.py", policy) == []
+        assert lint_source(WALL_CLOCK_SRC, "src/repro/core/fresh.py", policy) != []
+
+
+class TestConfigLoading:
+    def test_missing_file_yields_defaults(self, tmp_path):
+        policy = load_policy(tmp_path / "nope.toml")
+        assert policy.profile_paths == DEFAULT_PROFILE_PATHS
+
+    def test_pyproject_section_overrides_defaults(self, tmp_path):
+        cfg = tmp_path / "pyproject.toml"
+        cfg.write_text(
+            "[tool.repro-lint]\n"
+            'paths = ["lib"]\n'
+            'baseline = ["R004:lib/old/*.py"]\n'
+            "[tool.repro-lint.profiles]\n"
+            'strict = ["lib/kernel"]\n'
+            'relaxed = ["lib/driver"]\n'
+        )
+        policy = load_policy(cfg)
+        assert policy.paths == ("lib",)
+        assert policy.profile_for("lib/kernel/a.py") == "strict"
+        assert policy.profile_for("lib/driver/a.py") == "relaxed"
+        assert policy.is_baselined("R004", "lib/old/junk.py")
+        assert not policy.is_baselined("R004", "lib/kernel/a.py")
+
+    def test_unknown_profile_name_rejected(self, tmp_path):
+        cfg = tmp_path / "pyproject.toml"
+        cfg.write_text(
+            "[tool.repro-lint.profiles]\n"
+            'lenient = ["lib"]\n'
+        )
+        with pytest.raises(ValueError, match="unknown profile"):
+            load_policy(cfg)
+
+    def test_repo_pyproject_parses(self):
+        policy = load_policy(REPO_ROOT / "pyproject.toml")
+        assert policy.paths == ("src", "benchmarks", "examples")
+        assert policy.profile_for("src/repro/core/hf.py") == "strict"
+        assert policy.profile_for("tests/test_hf.py") == "relaxed"
+
+
+# ----------------------------------------------------------------------
+# Output formats and CLI behaviour
+# ----------------------------------------------------------------------
+
+
+class TestOutputAndCli:
+    def test_finding_is_json_round_trippable(self):
+        finding = Finding(
+            path="a.py", line=3, col=4, rule="R001", message="m", profile="strict"
+        )
+        assert json.loads(json.dumps(finding.to_dict())) == {
+            "path": "a.py",
+            "line": 3,
+            "col": 4,
+            "rule": "R001",
+            "message": "m",
+            "profile": "strict",
+        }
+
+    def test_json_document_shape(self, tmp_path, capsys, monkeypatch):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        monkeypatch.chdir(tmp_path)
+        code = main([str(bad), "--format", "json", "--no-config"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["version"] == 1
+        assert doc["files_checked"] == 1
+        assert doc["rules_active"] == rule_ids()
+        assert doc["counts"] == {"R002": 1}
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "R002"
+        assert finding["line"] == 1
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good), "--no-config"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_text_format_lists_location_and_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad), "--no-config"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:1:0: R002" in out
+        assert "1 finding" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["definitely/not/there", "--no-config"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_syntax_error_reported_not_raised(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        assert main([str(broken), "--no-config"]) == 1
+        assert "E999" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# Repo-wide self-check: the gate this subsystem exists for
+# ----------------------------------------------------------------------
+
+
+class TestRepoSelfCheck:
+    def test_src_benchmarks_examples_are_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        policy = load_policy(REPO_ROOT / "pyproject.toml")
+        findings = lint_paths(["src", "benchmarks", "examples"], policy)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_tests_directory_is_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        policy = load_policy(REPO_ROOT / "pyproject.toml")
+        findings = lint_paths(["tests"], policy)
+        assert findings == [], "\n".join(f.render() for f in findings)

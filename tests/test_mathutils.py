@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.utils.mathutils import ceil_div, ilog2, is_power_of_two, next_power_of_two
+from repro.utils.mathutils import (
+    ceil_div,
+    feq,
+    ilog2,
+    is_power_of_two,
+    is_zero,
+    next_power_of_two,
+)
 
 
 class TestCeilDiv:
@@ -60,3 +67,29 @@ class TestPowersOfTwo:
     def test_next_power_rejects_zero(self):
         with pytest.raises(ValueError):
             next_power_of_two(0)
+
+
+class TestFloatTolerance:
+    def test_feq_absorbs_summation_order_noise(self):
+        # the classic n_jobs hazard: different merge orders, same value
+        a = sum([0.1] * 10)
+        assert a != 1.0  # exact == is exactly what R004 bans
+        assert feq(a, 1.0)
+
+    def test_feq_distinguishes_real_differences(self):
+        assert not feq(1.0, 1.001)
+        assert not feq(0.25, 0.5)
+
+    def test_feq_custom_tolerance(self):
+        assert feq(100.0, 100.5, rel_tol=0.01)
+        assert not feq(100.0, 100.5, rel_tol=1e-6)
+
+    def test_is_zero(self):
+        assert is_zero(0.0)
+        assert is_zero(1e-15)
+        assert is_zero(-1e-15)
+        assert not is_zero(1e-6)
+
+    def test_is_zero_exact_mode(self):
+        assert not is_zero(1e-15, abs_tol=0.0)
+        assert is_zero(0.0, abs_tol=0.0)

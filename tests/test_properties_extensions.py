@@ -108,7 +108,7 @@ class TestSelectionVariantsProperty:
         seed=st.integers(min_value=0, max_value=2**31),
     )
     @settings(max_examples=100, deadline=None)
-    def test_conservation_all_strategies(self, strategy, n, seed):
+    def test_conservation_all_strategies(self, *, strategy, n, seed):
         rng = np.random.default_rng(seed)
         draws = rng.uniform(0.05, 0.5, size=max(1, n - 1))
         w = selection_final_weights(strategy, 3.0, n, draws, rng=rng)
@@ -132,7 +132,7 @@ class TestNewProblemFamiliesProperty:
         seed=st.integers(min_value=0, max_value=2**31),
     )
     @settings(max_examples=40, deadline=None)
-    def test_task_dag_conservation(self, n_tasks, seed):
+    def test_task_dag_conservation(self, *, n_tasks, seed):
         p = random_task_dag(n_tasks, seed=seed)
         assert p.n_tasks == n_tasks
         if p.can_bisect:

@@ -35,6 +35,19 @@ class TestGenerateReport:
         ids = {s for _, s in REPORT_SECTIONS}
         assert {"table1", "figure5", "lambda", "runtime"} <= ids
 
+    def test_injectable_clock_drives_timings(self, tmp_path, monkeypatch):
+        import repro.experiments.report as report_mod
+
+        ticks = iter(range(0, 100, 10))
+        monkeypatch.setattr(report_mod, "_clock", lambda: float(next(ticks)))
+        path = generate_report(
+            tmp_path / "r.md", n_trials=5, seed=3, sections=("table1",)
+        )
+        text = path.read_text()
+        # one section: started=0, t0=10, end=20 -> 10.0 s; total reads 30-0
+        assert "section computed in 10.0 s" in text
+        assert "Total report time: 30.0 s." in text
+
     def test_cli_report(self, tmp_path, capsys):
         from repro.experiments.cli import main
 

@@ -7,7 +7,7 @@ from repro.core.hf import hf_final_weights
 from repro.core.variants import SELECTION_STRATEGIES, selection_final_weights
 
 
-def draws(n, seed=0, lo=0.1, hi=0.5):
+def draws(n, *, seed=0, lo=0.1, hi=0.5):
     return np.random.default_rng(seed).uniform(lo, hi, size=n)
 
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo gate: tier-1 tests, then the determinism/numerical-safety linter.
+#
+#   tools/check.sh            # human output
+#   LINT_FORMAT=text tools/check.sh
+#
+# Exits non-zero if either stage fails, so it can serve directly as a CI
+# job or pre-push hook.  The lint stage covers tests/ too (the pytest
+# self-check gate only covers src/benchmarks/examples).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo "== static analysis: repro.lint =="
+python -m repro.lint src tests benchmarks examples --format "${LINT_FORMAT:-json}"
+
+echo "== all checks passed =="
