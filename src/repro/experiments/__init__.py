@@ -61,10 +61,12 @@ from repro.experiments.nonpow2_study import (
     run_nonpow2_study,
 )
 from repro.experiments.runtime_study import (
+    METRIC_COLUMNS,
     RuntimeRecord,
     RuntimeStudyResult,
     render_runtime_study,
     run_runtime_study,
+    study_trial_metrics,
 )
 from repro.experiments.topology_study import (
     TOPOLOGIES,
@@ -166,8 +168,10 @@ __all__ = [
     "NonPow2Result",
     "render_nonpow2_study",
     "run_nonpow2_study",
+    "METRIC_COLUMNS",
     "RuntimeRecord",
     "RuntimeStudyResult",
     "render_runtime_study",
     "run_runtime_study",
+    "study_trial_metrics",
 ]

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.config import (
     DEFAULT_N_VALUES,
+    ENGINES,
     PAPER_N_VALUES,
     full_scale_requested,
 )
@@ -95,6 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--seed", type=int, default=20260706)
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="fastpath",
+        help=(
+            "machine-model evaluation engine for the runtime/topology "
+            "studies: closed-form batched kernels ('fastpath', default; "
+            "bit-identical to the DES) or the discrete-event simulator "
+            "('des')"
+        ),
+    )
     parser.add_argument(
         "--full",
         action="store_true",
@@ -184,7 +196,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n for n in (2**k for k in range(2, 11)) if args.max_n is None or n <= args.max_n
         )
         outputs.append(
-            render_runtime_study(run_runtime_study(n_values=runtime_ns, seed=args.seed))
+            render_runtime_study(
+                run_runtime_study(
+                    n_values=runtime_ns,
+                    seed=args.seed,
+                    engine=args.engine,
+                    n_jobs=args.jobs,
+                )
+            )
         )
     if args.experiment in ("topology", "all"):
         topo_ns = tuple(
@@ -192,7 +211,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         outputs.append(
             render_topology_study(
-                run_topology_study(n_values=topo_ns, seed=args.seed)
+                run_topology_study(
+                    n_values=topo_ns,
+                    seed=args.seed,
+                    engine=args.engine,
+                    n_jobs=args.jobs,
+                )
             )
         )
     if args.experiment in ("worstcase", "all"):

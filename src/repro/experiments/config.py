@@ -20,8 +20,11 @@ __all__ = [
     "PAPER_N_VALUES",
     "DEFAULT_N_VALUES",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_STUDY_CHUNK_SIZE",
+    "ENGINES",
     "StochasticConfig",
     "full_scale_requested",
+    "normalize_engine",
 ]
 
 #: Default trial-chunk size for the sweep runner.  Chunking is part of
@@ -29,6 +32,27 @@ __all__ = [
 #: so it is a config property -- NOT derived from ``n_jobs`` -- which
 #: makes sweep statistics bit-identical for any worker count.
 DEFAULT_CHUNK_SIZE = 256
+
+#: Default trial-chunk size for the machine-model studies (runtime /
+#: topology).  Smaller than the sweep default: one study trial can cost a
+#: whole DES run when a cell falls back to ``engine="des"``.
+DEFAULT_STUDY_CHUNK_SIZE = 64
+
+#: Evaluation engines for the machine-model studies.  ``"fastpath"``
+#: uses the closed-form batched kernels of
+#: :mod:`repro.simulator.fastpath` wherever they exist and falls back to
+#: the DES per cell (the two are bit-identical -- see
+#: tests/test_fastpath.py); ``"des"`` forces the discrete-event
+#: simulator everywhere.
+ENGINES: Tuple[str, ...] = ("des", "fastpath")
+
+
+def normalize_engine(engine: str) -> str:
+    """Canonical engine key; raises on unknown names."""
+    key = engine.lower()
+    if key not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (known: {list(ENGINES)})")
+    return key
 
 #: The paper's processor counts: N = 2^k for k = 5..20.
 PAPER_N_VALUES: Tuple[int, ...] = tuple(2**k for k in range(5, 21))

@@ -5,29 +5,74 @@ problem onto N processors, while PHF, BA and BA-HF need only O(log N)
 under the machine model (unit-cost bisection/send, log-cost collectives).
 PHF pays per-iteration global communication; BA needs none at all.
 
-The study runs the discrete-event simulator over a range of N and
-reports makespan, message count, control messages and collective count
-per algorithm -- reproducing the qualitative separation the paper argues
+The study evaluates the machine model over a range of N and reports
+makespan, message count, control messages and collective count per
+algorithm -- reproducing the qualitative separation the paper argues
 analytically, plus the PHF-vs-BA communication trade-off the conclusion
 discusses.
+
+Two engines compute the per-trial metrics (``engine=`` knob):
+
+* ``"fastpath"`` (default) -- the closed-form batched kernels of
+  :mod:`repro.simulator.fastpath`, bit-identical to the DES (enforced by
+  tests/test_fastpath.py) and orders of magnitude faster at large N.
+  Cells the kernels cannot express (e.g. PHF on a topology, non-central
+  PHF phase 1) fall back to the DES transparently.
+* ``"des"`` -- the discrete-event simulator everywhere (the oracle).
+
+Trial ``t`` of cell ``(algorithm, N)`` derives its generator from
+``(seed, algorithm, N, t)`` exactly like the ratio sweeps
+(:func:`repro.experiments.stochastic.trial_ratios`), and scheduling is
+*trial-chunked* over a ``ProcessPoolExecutor``: chunk layout and merge
+order are functions of the parameters alone, so results are bit-identical
+for any ``n_jobs`` -- and identical between the two engines wherever the
+fastpath applies.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.experiments.config import DEFAULT_STUDY_CHUNK_SIZE, normalize_engine
+from repro.experiments.runner import chunk_bounds
+from repro.experiments.stochastic import _trial_factory, normalize_algorithm
+from repro.problems.prescribed import prescribed_problem
 from repro.problems.samplers import AlphaSampler, UniformAlpha
 from repro.problems.synthetic import SyntheticProblem
+from repro.simulator.fastpath import fastpath_counters, fastpath_supported
 from repro.simulator.machine import MachineConfig
 from repro.simulator.ba_sim import simulate_ba
 from repro.simulator.bahf_sim import simulate_bahf
 from repro.simulator.hf_sim import simulate_hf
 from repro.simulator.phf_sim import simulate_phf
 from repro.simulator.trace import SimulationResult
-from repro.utils.rng import split_seed
 
-__all__ = ["RuntimeRecord", "RuntimeStudyResult", "run_runtime_study", "render_runtime_study"]
+__all__ = [
+    "METRIC_COLUMNS",
+    "RuntimeRecord",
+    "RuntimeStudyResult",
+    "study_trial_metrics",
+    "run_runtime_study",
+    "render_runtime_study",
+]
+
+#: Column layout of the per-trial metric matrices returned by
+#: :func:`study_trial_metrics` (counts stored as exact float64 integers).
+METRIC_COLUMNS: Tuple[str, ...] = (
+    "parallel_time",
+    "n_messages",
+    "n_control_messages",
+    "n_collectives",
+    "collective_time",
+    "n_bisections",
+    "total_hops",
+    "utilization",
+    "ratio",
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +92,7 @@ class RuntimeRecord:
 class RuntimeStudyResult:
     records: Tuple[RuntimeRecord, ...]
     n_repeats: int
+    engine: str = "des"
 
     def series(self, algorithm: str, field: str) -> List[Tuple[int, float]]:
         out = []
@@ -63,6 +109,186 @@ class RuntimeStudyResult:
         return seen
 
 
+# ----------------------------------------------------------------------
+# Per-trial metric matrices
+# ----------------------------------------------------------------------
+
+
+def _result_row(res: SimulationResult) -> List[float]:
+    return [
+        res.parallel_time,
+        float(res.n_messages),
+        float(res.n_control_messages),
+        float(res.n_collectives),
+        res.collective_time,
+        float(res.n_bisections),
+        float(res.total_hops),
+        res.utilization,
+        res.ratio,
+    ]
+
+
+def study_trial_metrics(
+    algorithm: str,
+    n_processors: int,
+    sampler: AlphaSampler,
+    *,
+    n_trials: int,
+    seed: int,
+    start: int = 0,
+    lam: float = 1.0,
+    phf_phase1: str = "central",
+    config: Optional[MachineConfig] = None,
+    engine: str = "fastpath",
+) -> np.ndarray:
+    """Machine metrics for trials ``start .. start + n_trials - 1``.
+
+    Returns a ``(n_trials, len(METRIC_COLUMNS))`` float64 matrix.  Trial
+    ``t`` uses a generator derived from ``(seed, algorithm,
+    n_processors, t)``, so any chunking of the trial range reproduces
+    the serial values exactly, and the two engines agree bit for bit on
+    every cell the fastpath supports.
+    """
+    key = normalize_algorithm(algorithm)
+    engine = normalize_engine(engine)
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    config = config or MachineConfig()
+    n = n_processors
+    alpha = sampler.alpha
+    fac = _trial_factory(key, n, seed)
+    rngs = [fac.generator_for(t) for t in range(start, start + n_trials)]
+    draws = sampler.sample_trial_matrix(rngs, max(1, n - 1))
+
+    if engine == "fastpath" and fastpath_supported(key, config, phase1=phf_phase1):
+        fp = fastpath_counters(
+            key, n, draws, alpha=alpha, lam=lam, phase1=phf_phase1, config=config
+        )
+        return np.column_stack(
+            [
+                fp.parallel_time,
+                fp.n_messages.astype(np.float64),
+                fp.n_control_messages.astype(np.float64),
+                fp.n_collectives.astype(np.float64),
+                fp.collective_time,
+                fp.n_bisections.astype(np.float64),
+                fp.total_hops.astype(np.float64),
+                fp.utilization,
+                fp.ratio,
+            ]
+        )
+
+    out = np.empty((n_trials, len(METRIC_COLUMNS)), dtype=np.float64)
+    for i in range(n_trials):
+        if key == "phf" and phf_phase1 != "central":
+            # The draw prescription replays the central chronology only;
+            # other phase-1 strategies consume draws in a machine- or
+            # randomness-dependent order, so they sample lazily.
+            problem: object = SyntheticProblem(
+                1.0, sampler, seed=fac.seed_for(start + i)
+            )
+            res = simulate_phf(
+                problem, n, alpha=alpha, config=config, phase1=phf_phase1
+            )
+        else:
+            problem = prescribed_problem(key, n, draws[i], alpha=alpha, lam=lam)
+            if key == "hf":
+                res = simulate_hf(problem, n, config=config)
+            elif key == "ba":
+                res = simulate_ba(problem, n, config=config)
+            elif key == "bahf":
+                res = simulate_bahf(problem, n, alpha=alpha, lam=lam, config=config)
+            else:
+                res = simulate_phf(problem, n, alpha=alpha, config=config)
+        out[i] = _result_row(res)
+    return out
+
+
+def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
+    """Worker: one trial chunk of one study cell (picklable)."""
+    (
+        cell_key,
+        algorithm,
+        n,
+        sampler,
+        start,
+        stop,
+        seed,
+        lam,
+        phf_phase1,
+        config,
+        engine,
+    ) = args
+    matrix = study_trial_metrics(
+        algorithm,
+        n,
+        sampler,
+        n_trials=stop - start,
+        seed=seed,
+        start=start,
+        lam=lam,
+        phf_phase1=phf_phase1,
+        config=config,
+        engine=engine,
+    )
+    return cell_key, start, matrix
+
+
+def run_study_cells(
+    cells: Sequence[Tuple[Hashable, str, int, Optional[MachineConfig]]],
+    sampler: AlphaSampler,
+    *,
+    n_trials: int,
+    seed: int,
+    lam: float = 1.0,
+    phf_phase1: str = "central",
+    engine: str = "fastpath",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+) -> Dict[Hashable, np.ndarray]:
+    """Trial-chunked evaluation of many study cells.
+
+    ``cells`` holds ``(cell_key, algorithm, n_processors, config)``
+    tuples.  Each cell's trial range is split into ``chunk_size`` work
+    units scheduled over a ``ProcessPoolExecutor`` when ``n_jobs > 1``;
+    chunk matrices are concatenated in chunk-start order, so the
+    returned ``(n_trials, len(METRIC_COLUMNS))`` matrices are
+    bit-identical for any worker count.
+    """
+    engine = normalize_engine(engine)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    size = chunk_size if chunk_size is not None else DEFAULT_STUDY_CHUNK_SIZE
+    chunks = chunk_bounds(n_trials, size)
+    tasks = [
+        (cell_key, algo, n, sampler, start, stop, seed, lam, phf_phase1, config, engine)
+        for cell_key, algo, n, config in cells
+        for start, stop in chunks
+    ]
+    if n_jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            raw = list(pool.map(_study_chunk, tasks))
+    else:
+        raw = [_study_chunk(task) for task in tasks]
+
+    per_cell: Dict[Hashable, List[Tuple[int, np.ndarray]]] = {
+        cell_key: [] for cell_key, _, _, _ in cells
+    }
+    for cell_key, start, matrix in raw:
+        per_cell[cell_key].append((start, matrix))
+    return {
+        cell_key: np.concatenate(
+            [m for _, m in sorted(parts, key=lambda item: item[0])], axis=0
+        )
+        for cell_key, parts in per_cell.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# The runtime study
+# ----------------------------------------------------------------------
+
+
 def run_runtime_study(
     *,
     n_values: Sequence[int] = tuple(2**k for k in range(2, 11)),
@@ -73,75 +299,59 @@ def run_runtime_study(
     config: Optional[MachineConfig] = None,
     n_repeats: int = 5,
     seed: int = 20260706,
+    engine: str = "fastpath",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> RuntimeStudyResult:
-    """Simulate each algorithm on ``n_repeats`` random instances per N.
+    """Evaluate each algorithm on ``n_repeats`` random instances per N.
 
     Reported values are means over the repeats (the machine is
-    deterministic; only the problem instance varies).
+    deterministic; only the problem instance varies).  ``engine``,
+    ``n_jobs`` and ``chunk_size`` select the evaluation engine and the
+    trial-chunked parallel schedule; none of them changes the numbers
+    (the fastpath is bit-identical to the DES, and the chunk merge order
+    is fixed).
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    engine = normalize_engine(engine)
     sampler = sampler or UniformAlpha(0.1, 0.5)
+    cells = [
+        ((algo, n), algo, n, config) for n in n_values for algo in algorithms
+    ]
+    matrices = run_study_cells(
+        cells,
+        sampler,
+        n_trials=n_repeats,
+        seed=seed,
+        lam=lam,
+        phf_phase1=phf_phase1,
+        engine=engine,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+    )
     records: List[RuntimeRecord] = []
     for n in n_values:
         for algo in algorithms:
-            sums = {
-                "parallel_time": 0.0,
-                "n_messages": 0.0,
-                "n_control_messages": 0.0,
-                "n_collectives": 0.0,
-                "collective_time": 0.0,
-                "utilization": 0.0,
-                "ratio": 0.0,
-            }
-            for rep in range(n_repeats):
-                problem = SyntheticProblem(
-                    1.0, sampler, seed=split_seed(seed, rep * 1009 + n)
-                )
-                res = _simulate(algo, problem, n, lam, phf_phase1, config)
-                sums["parallel_time"] += res.parallel_time
-                sums["n_messages"] += res.n_messages
-                sums["n_control_messages"] += res.n_control_messages
-                sums["n_collectives"] += res.n_collectives
-                sums["collective_time"] += res.collective_time
-                sums["utilization"] += res.utilization
-                sums["ratio"] += res.ratio
+            m = matrices[(algo, n)]
+            mean = m.sum(axis=0) / n_repeats
+            col = {name: mean[j] for j, name in enumerate(METRIC_COLUMNS)}
             records.append(
                 RuntimeRecord(
                     algorithm=algo,
                     n_processors=n,
-                    parallel_time=sums["parallel_time"] / n_repeats,
-                    n_messages=int(round(sums["n_messages"] / n_repeats)),
-                    n_control_messages=int(
-                        round(sums["n_control_messages"] / n_repeats)
-                    ),
-                    n_collectives=int(round(sums["n_collectives"] / n_repeats)),
-                    collective_time=sums["collective_time"] / n_repeats,
-                    utilization=sums["utilization"] / n_repeats,
-                    ratio=sums["ratio"] / n_repeats,
+                    parallel_time=float(col["parallel_time"]),
+                    n_messages=int(round(col["n_messages"])),
+                    n_control_messages=int(round(col["n_control_messages"])),
+                    n_collectives=int(round(col["n_collectives"])),
+                    collective_time=float(col["collective_time"]),
+                    utilization=float(col["utilization"]),
+                    ratio=float(col["ratio"]),
                 )
             )
-    return RuntimeStudyResult(records=tuple(records), n_repeats=n_repeats)
-
-
-def _simulate(
-    algo: str,
-    problem: SyntheticProblem,
-    n: int,
-    lam: float,
-    phf_phase1: str,
-    config: Optional[MachineConfig],
-) -> SimulationResult:
-    key = algo.lower().replace("-", "").replace("_", "")
-    if key == "hf":
-        return simulate_hf(problem, n, config=config)
-    if key == "phf":
-        return simulate_phf(problem, n, config=config, phase1=phf_phase1)
-    if key == "ba":
-        return simulate_ba(problem, n, config=config)
-    if key == "bahf":
-        return simulate_bahf(problem, n, lam=lam, config=config)
-    raise ValueError(f"unknown algorithm {algo!r}")
+    return RuntimeStudyResult(
+        records=tuple(records), n_repeats=n_repeats, engine=engine
+    )
 
 
 def render_runtime_study(result: RuntimeStudyResult) -> str:

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.config import normalize_engine
+from repro.experiments.runtime_study import METRIC_COLUMNS, run_study_cells
 from repro.problems.samplers import AlphaSampler, UniformAlpha
-from repro.problems.synthetic import SyntheticProblem
 from repro.simulator.collectives import LogCost
 from repro.simulator.machine import MachineConfig
 from repro.simulator.topology import (
@@ -32,12 +33,6 @@ from repro.simulator.topology import (
     RingTopology,
     Topology,
 )
-from repro.simulator.ba_sim import simulate_ba
-from repro.simulator.bahf_sim import simulate_bahf
-from repro.simulator.hf_sim import simulate_hf
-from repro.simulator.phf_sim import simulate_phf
-from repro.utils.mathutils import ilog2
-from repro.utils.rng import split_seed
 
 __all__ = [
     "TOPOLOGIES",
@@ -106,54 +101,61 @@ def run_topology_study(
     sampler: Optional[AlphaSampler] = None,
     n_repeats: int = 3,
     seed: int = 20260706,
+    engine: str = "fastpath",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> TopologyStudyResult:
-    """Simulate each algorithm on each topology (means over repeats)."""
+    """Evaluate each algorithm on each topology (means over repeats).
+
+    Trial ``t`` of cell ``(topology, algorithm, N)`` derives its draws
+    from ``(seed, algorithm, N, t)`` only -- every topology sees the
+    *same* instances, so :meth:`TopologyStudyResult.slowdown` compares
+    like with like.  ``engine="fastpath"`` uses the closed-form kernels
+    for HF/BA/BA-HF (topology-aware) and falls back to the DES for PHF,
+    whose on-line phase 2 has no closed form on a topology; both engines
+    report bit-identical numbers for any ``n_jobs``.
+    """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    engine = normalize_engine(engine)
     for name in topologies:
         if name not in TOPOLOGIES:
             raise ValueError(f"unknown topology {name!r}")
     sampler = sampler or UniformAlpha(0.1, 0.5)
+    cells = [
+        ((topo, algo, n), algo, n, _config_for(topo, n))
+        for n in n_values
+        for topo in topologies
+        for algo in algorithms
+    ]
+    matrices = run_study_cells(
+        cells,
+        sampler,
+        n_trials=n_repeats,
+        seed=seed,
+        engine=engine,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+    )
+    col = {name: j for j, name in enumerate(METRIC_COLUMNS)}
     records: List[TopologyRecord] = []
     for n in n_values:
         for topo in topologies:
-            config = _config_for(topo, n)
             for algo in algorithms:
-                t_sum = 0.0
-                hops = 0
-                colls = 0
-                for rep in range(n_repeats):
-                    p = SyntheticProblem(
-                        1.0, sampler, seed=split_seed(seed, rep * 7919 + n)
-                    )
-                    res = _simulate(algo, p, n, config)
-                    t_sum += res.parallel_time
-                    hops += res.total_hops
-                    colls += res.n_collectives
+                m = matrices[(topo, algo, n)]
                 records.append(
                     TopologyRecord(
                         topology=topo,
                         algorithm=algo,
                         n_processors=n,
-                        parallel_time=t_sum / n_repeats,
-                        total_hops=hops // n_repeats,
-                        n_collectives=colls // n_repeats,
+                        parallel_time=float(m[:, col["parallel_time"]].sum())
+                        / n_repeats,
+                        total_hops=int(m[:, col["total_hops"]].sum()) // n_repeats,
+                        n_collectives=int(m[:, col["n_collectives"]].sum())
+                        // n_repeats,
                     )
                 )
     return TopologyStudyResult(records=tuple(records), n_repeats=n_repeats)
-
-
-def _simulate(algo: str, problem: SyntheticProblem, n: int, config: MachineConfig):
-    key = algo.lower().replace("-", "").replace("_", "")
-    if key == "hf":
-        return simulate_hf(problem, n, config=config)
-    if key == "ba":
-        return simulate_ba(problem, n, config=config)
-    if key == "bahf":
-        return simulate_bahf(problem, n, config=config)
-    if key == "phf":
-        return simulate_phf(problem, n, config=config)
-    raise ValueError(f"unknown algorithm {algo!r}")
 
 
 def render_topology_study(result: TopologyStudyResult) -> str:

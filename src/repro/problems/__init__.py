@@ -37,6 +37,12 @@ from repro.problems.domain import (
     uniform_density,
 )
 from repro.problems.search_space import FrontierNode, SearchSpaceProblem
+from repro.problems.prescribed import (
+    CursorProblem,
+    DrawCursor,
+    PrescribedNode,
+    prescribed_problem,
+)
 from repro.problems.task_dag import (
     Parallel,
     Series,
@@ -46,6 +52,10 @@ from repro.problems.task_dag import (
 )
 
 __all__ = [
+    "CursorProblem",
+    "DrawCursor",
+    "PrescribedNode",
+    "prescribed_problem",
     "FrontierNode",
     "SearchSpaceProblem",
     "Parallel",

@@ -41,6 +41,12 @@ from repro.simulator.hf_sim import simulate_hf
 from repro.simulator.ba_sim import simulate_ba, simulate_ba_prime
 from repro.simulator.bahf_sim import simulate_bahf
 from repro.simulator.phf_sim import simulate_phf
+from repro.simulator.fastpath import (
+    FastpathResult,
+    FastpathUnsupported,
+    fastpath_counters,
+    fastpath_supported,
+)
 
 __all__ = [
     "SimulationError",
@@ -69,4 +75,8 @@ __all__ = [
     "simulate_ba_prime",
     "simulate_bahf",
     "simulate_phf",
+    "FastpathResult",
+    "FastpathUnsupported",
+    "fastpath_counters",
+    "fastpath_supported",
 ]

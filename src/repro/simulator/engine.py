@@ -48,8 +48,20 @@ class Simulator:
         self._seq += 1
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute simulation time ``time`` (≥ now)."""
-        self.schedule(time - self._now, callback)
+        """Run ``callback`` at absolute simulation time ``time`` (≥ now).
+
+        Pushes the absolute time directly (no round-trip through a
+        relative delay), so the event fires at exactly the requested
+        float, and a request in the past reports both the requested time
+        and the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at absolute time {time}: "
+                f"it is in the past (now={self._now})"
+            )
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
 
     def run(self, *, max_events: int = 10_000_000) -> float:
         """Process events until the queue drains; returns the final time.
@@ -57,15 +69,27 @@ class Simulator:
         ``max_events`` is a runaway guard (a simulation that schedules
         itself forever raises instead of hanging the host).
         """
-        while self._queue:
-            if self._events_processed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway simulation?"
-                )
-            time, _, callback = heapq.heappop(self._queue)
-            if time < self._now:
-                raise SimulationError("event queue went back in time")  # pragma: no cover
-            self._now = time
-            self._events_processed += 1
-            callback()
+        # The event loop is the hottest path of every DES run; heap ops
+        # and instance attributes are hoisted to locals, and the counter
+        # runs in a local that is written back once per batch drained.
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = self._events_processed
+        now = self._now
+        try:
+            while queue:
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                time, _, callback = heappop(queue)
+                if time < now:
+                    raise SimulationError("event queue went back in time")  # pragma: no cover
+                now = time
+                self._now = time
+                processed += 1
+                callback()
+                now = self._now
+        finally:
+            self._events_processed = processed
         return self._now

@@ -23,6 +23,8 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.mathutils import ilog2, is_power_of_two
 
 __all__ = [
@@ -66,6 +68,31 @@ class Topology(ABC):
             if a != b
         )
 
+    def distance_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Hop distances for many (src, dst) pairs at once.
+
+        ``src``/``dst`` are broadcastable integer arrays of 1-based ids.
+        The base implementation loops over :meth:`distance` (one Python
+        call per pair); concrete topologies override it with closed-form
+        NumPy expressions so the fastpath kernels never fall back to a
+        per-edge loop.  Ids are validated like :meth:`distance`.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        src, dst = np.broadcast_arrays(src, dst)
+        self._check_array(src)
+        self._check_array(dst)
+        out = np.empty(src.shape, dtype=np.int64)
+        flat_src, flat_dst = src.ravel(), dst.ravel()
+        flat_out = out.ravel()
+        for k in range(flat_src.size):
+            flat_out[k] = self.distance(int(flat_src[k]), int(flat_dst[k]))
+        return out
+
+    def _check_array(self, procs: np.ndarray) -> None:
+        if procs.size and (procs.min() < 1 or procs.max() > self.n):
+            raise ValueError(f"processor id out of range 1..{self.n}")
+
 
 class CompleteTopology(Topology):
     """Fully connected network: every send is one hop (the paper's model)."""
@@ -80,6 +107,14 @@ class CompleteTopology(Topology):
         if src == dst:
             return 0
         return 1
+
+    def distance_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        src, dst = np.broadcast_arrays(src, dst)
+        self._check_array(src)
+        self._check_array(dst)
+        return (src != dst).astype(np.int64)
 
 
 class HypercubeTopology(Topology):
@@ -104,6 +139,26 @@ class HypercubeTopology(Topology):
         self._check(src)
         self._check(dst)
         return ((src - 1) ^ (dst - 1)).bit_count()
+
+    def distance_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        src, dst = np.broadcast_arrays(src, dst)
+        self._check_array(src)
+        self._check_array(dst)
+        xor = np.bitwise_xor(src - 1, dst - 1).astype(np.uint64)
+        if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+            return np.bitwise_count(xor).astype(np.int64)
+        # SWAR popcount fallback (64-bit), for NumPy 1.x
+        x = xor.copy()
+        x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+        x = (x & np.uint64(0x3333333333333333)) + (
+            (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+        )
+        x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        return ((x * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(
+            np.int64
+        )
 
 
 class Mesh2DTopology(Topology):
@@ -132,6 +187,16 @@ class Mesh2DTopology(Topology):
         (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
         return abs(r1 - r2) + abs(c1 - c2)
 
+    def distance_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        src, dst = np.broadcast_arrays(src, dst)
+        self._check_array(src)
+        self._check_array(dst)
+        r1, c1 = np.divmod(src - 1, self.cols)
+        r2, c2 = np.divmod(dst - 1, self.cols)
+        return np.abs(r1 - r2) + np.abs(c1 - c2)
+
 
 class RingTopology(Topology):
     """Bidirectional ring: min cyclic distance; diameter ``⌊N/2⌋``."""
@@ -145,3 +210,12 @@ class RingTopology(Topology):
         self._check(dst)
         d = abs(src - dst)
         return min(d, self.n - d)
+
+    def distance_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        src, dst = np.broadcast_arrays(src, dst)
+        self._check_array(src)
+        self._check_array(dst)
+        d = np.abs(src - dst)
+        return np.minimum(d, self.n - d)

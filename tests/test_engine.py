@@ -73,6 +73,24 @@ class TestErrors:
         with pytest.raises(SimulationError):
             sim.run()
 
+    def test_schedule_at_past_reports_absolute_time_and_now(self):
+        """The error names the requested time and the clock, not a delay."""
+        sim = Simulator()
+        sim.schedule(5.0, lambda: sim.schedule_at(1.5, lambda: None))
+        with pytest.raises(
+            SimulationError, match=r"absolute time 1\.5.*now=5\.0"
+        ):
+            sim.run()
+
+    def test_schedule_at_exact_float_time(self):
+        """schedule_at pushes the absolute time verbatim (no delay round-trip)."""
+        sim = Simulator()
+        seen = []
+        target = 0.1 + 0.2  # not exactly representable as now + delta chains
+        sim.schedule(0.05, lambda: sim.schedule_at(target, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [target]
+
     def test_runaway_guard(self):
         sim = Simulator()
 

@@ -1,0 +1,296 @@
+"""Fastpath kernels vs the DES oracle: bit-identical equivalence.
+
+Every metric the closed-form kernels of :mod:`repro.simulator.fastpath`
+report must equal -- bit for bit, not approximately -- what the
+discrete-event simulation reports for the same prescribed instance
+(:mod:`repro.problems.prescribed`), across randomized alpha samplers,
+processor counts, machine configs and topologies.
+
+Machine configs keep every cost a dyadic rational: the DES accumulates
+per-processor work in a different order than the kernels' closed form
+``(N-1)·t_bisect``, and only dyadic costs make both orders exact (the
+documented utilisation caveat in the fastpath module).
+"""
+
+import numpy as np
+import pytest
+
+from repro.problems import prescribed_problem
+from repro.problems.samplers import BetaAlpha, DiscreteAlpha, FixedAlpha, UniformAlpha
+from repro.simulator import (
+    FastpathUnsupported,
+    HypercubeTopology,
+    MachineConfig,
+    Mesh2DTopology,
+    RingTopology,
+    fastpath_counters,
+    fastpath_supported,
+    simulate_ba,
+    simulate_bahf,
+    simulate_hf,
+    simulate_phf,
+)
+from repro.utils import SeedSequenceFactory
+
+
+def same_bits(a, b) -> bool:
+    """IEEE-754 bit equality (so 1.0 vs 1.0 + 1ulp fails loudly)."""
+    return np.float64(a).tobytes() == np.float64(b).tobytes()
+
+
+SAMPLERS = [
+    UniformAlpha(0.1, 0.5),
+    UniformAlpha(0.25, 0.4),
+    FixedAlpha(0.3),
+    BetaAlpha(2.0, 5.0, low=0.05, high=0.5),
+    DiscreteAlpha((0.2, 0.35, 0.5)),  # ties exercise the band ordering
+]
+
+# Dyadic costs only (see module docstring).
+CONFIGS = [
+    MachineConfig(),
+    MachineConfig(t_bisect=0.5, t_send=2.0, t_acquire=0.25, c_collective=1.5),
+    MachineConfig(t_bisect=1.0, t_send=0.0, t_acquire=0.0, c_collective=0.25),
+]
+
+N_VALUES = [1, 2, 3, 5, 8, 13, 32, 64, 127]
+
+
+def draw_matrix(sampler, algorithm, n, *, n_trials, seed=1234):
+    """Per-trial draw rows, derived exactly as the sweep runners do."""
+    fac = SeedSequenceFactory(seed)
+    rngs = [fac.generator_for(t) for t in range(n_trials)]
+    return sampler.sample_trial_matrix(rngs, max(1, n - 1))
+
+
+def des_result(algorithm, n, row, *, alpha, lam=1.0, keep="heavy", config=None):
+    problem = prescribed_problem(
+        algorithm, n, row, alpha=alpha, lam=lam, keep=keep
+    )
+    if algorithm == "hf":
+        return simulate_hf(problem, n, config=config)
+    if algorithm == "ba":
+        return simulate_ba(problem, n, config=config)
+    if algorithm == "bahf":
+        return simulate_bahf(problem, n, alpha=alpha, lam=lam, config=config)
+    return simulate_phf(problem, n, alpha=alpha, keep=keep, config=config)
+
+
+def assert_cell_equivalent(
+    algorithm, n, draws, *, alpha, lam=1.0, keep="heavy", config=None
+):
+    fp = fastpath_counters(
+        algorithm, n, draws, alpha=alpha, lam=lam, keep=keep, config=config
+    )
+    assert fp.n_trials == draws.shape[0]
+    for t in range(draws.shape[0]):
+        res = des_result(
+            algorithm, n, draws[t], alpha=alpha, lam=lam, keep=keep, config=config
+        )
+        ctx = f"{algorithm} N={n} trial={t}"
+        assert same_bits(fp.parallel_time[t], res.parallel_time), (
+            f"{ctx}: makespan {fp.parallel_time[t]!r} != {res.parallel_time!r}"
+        )
+        assert int(fp.n_messages[t]) == res.n_messages, ctx
+        assert int(fp.n_control_messages[t]) == res.n_control_messages, ctx
+        assert int(fp.n_collectives[t]) == res.n_collectives, ctx
+        assert same_bits(fp.collective_time[t], res.collective_time), (
+            f"{ctx}: collective_time {fp.collective_time[t]!r} != "
+            f"{res.collective_time!r}"
+        )
+        assert int(fp.n_bisections[t]) == res.n_bisections, ctx
+        assert int(fp.total_hops[t]) == res.total_hops, ctx
+        assert same_bits(fp.utilization[t], res.utilization), (
+            f"{ctx}: utilization {fp.utilization[t]!r} != {res.utilization!r}"
+        )
+        assert same_bits(fp.ratio[t], res.partition.ratio), (
+            f"{ctx}: ratio {fp.ratio[t]!r} != {res.partition.ratio!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Sampler sweep (default machine config)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sampler", SAMPLERS, ids=lambda s: s.describe())
+@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf", "phf"])
+def test_matches_des_across_samplers(sampler, algorithm):
+    for n in N_VALUES:
+        draws = draw_matrix(sampler, algorithm, n, n_trials=4, seed=10_000 + n)
+        assert_cell_equivalent(algorithm, n, draws, alpha=sampler.alpha)
+
+
+# ----------------------------------------------------------------------
+# Machine-config sweep (one sampler; includes zero-cost sends/acquires)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=["default", "scaled", "zerocost"])
+@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf", "phf"])
+def test_matches_des_across_configs(config, algorithm):
+    sampler = UniformAlpha(0.15, 0.5)
+    for n in [1, 2, 5, 17, 64]:
+        draws = draw_matrix(sampler, algorithm, n, n_trials=3, seed=20_000 + n)
+        assert_cell_equivalent(
+            algorithm, n, draws, alpha=sampler.alpha, config=config
+        )
+
+
+# ----------------------------------------------------------------------
+# Ablation knobs: BA-HF lambda, PHF keep=light
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("lam", [0.5, 1.0, 2.0])
+def test_bahf_lambda_knob(lam):
+    sampler = UniformAlpha(0.2, 0.45)
+    for n in [2, 7, 33, 64]:
+        draws = draw_matrix(sampler, "bahf", n, n_trials=3, seed=777)
+        assert_cell_equivalent("bahf", n, draws, alpha=sampler.alpha, lam=lam)
+
+
+@pytest.mark.parametrize("keep", ["heavy", "light"])
+def test_phf_keep_knob(keep):
+    sampler = UniformAlpha(0.2, 0.5)
+    for n in [2, 9, 31, 64]:
+        draws = draw_matrix(sampler, "phf", n, n_trials=3, seed=888)
+        assert_cell_equivalent("phf", n, draws, alpha=sampler.alpha, keep=keep)
+
+
+# ----------------------------------------------------------------------
+# Topologies (hf / ba / bahf; phf falls back to the DES)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "topology, t_hop", [(RingTopology, 0.5), (Mesh2DTopology, 1.0)]
+)
+@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf"])
+def test_matches_des_on_topologies(topology, t_hop, algorithm):
+    config = MachineConfig(topology=topology, t_hop=t_hop)
+    sampler = UniformAlpha(0.1, 0.5)
+    for n in [1, 2, 6, 24, 63]:
+        draws = draw_matrix(sampler, algorithm, n, n_trials=3, seed=30_000 + n)
+        assert_cell_equivalent(
+            algorithm, n, draws, alpha=sampler.alpha, config=config
+        )
+
+
+@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf"])
+def test_matches_des_on_hypercube(algorithm):
+    config = MachineConfig(topology=HypercubeTopology, t_hop=0.25)
+    sampler = UniformAlpha(0.2, 0.5)
+    for n in [1, 2, 8, 64]:
+        draws = draw_matrix(sampler, algorithm, n, n_trials=3, seed=40_000 + n)
+        assert_cell_equivalent(
+            algorithm, n, draws, alpha=sampler.alpha, config=config
+        )
+
+
+# ----------------------------------------------------------------------
+# Support predicate / unsupported cells
+# ----------------------------------------------------------------------
+
+
+def test_supported_predicate():
+    assert fastpath_supported("hf")
+    assert fastpath_supported("ba", MachineConfig(topology=RingTopology))
+    assert fastpath_supported("phf", MachineConfig())
+    assert not fastpath_supported("phf", MachineConfig(topology=RingTopology))
+    assert not fastpath_supported("phf", phase1="ba_prime")
+    assert not fastpath_supported("hf", MachineConfig(record_events=True))
+    with pytest.raises(ValueError):
+        fastpath_supported("nope")
+
+
+def test_unsupported_cells_raise():
+    draws = np.full((2, 7), 0.4)
+    with pytest.raises(FastpathUnsupported):
+        fastpath_counters(
+            "phf", 8, draws, alpha=0.4, config=MachineConfig(topology=RingTopology)
+        )
+    with pytest.raises(FastpathUnsupported):
+        fastpath_counters("phf", 8, draws, alpha=0.4, phase1="ba_prime")
+    with pytest.raises(FastpathUnsupported):
+        fastpath_counters(
+            "ba", 8, draws, config=MachineConfig(record_events=True)
+        )
+
+
+def test_missing_alpha_raises():
+    draws = np.full((1, 7), 0.4)
+    with pytest.raises(ValueError, match="alpha"):
+        fastpath_counters("phf", 8, draws)
+    with pytest.raises(ValueError, match="alpha"):
+        fastpath_counters("bahf", 8, draws)
+
+
+# ----------------------------------------------------------------------
+# Study integration: engines and worker counts are bit-identical
+# ----------------------------------------------------------------------
+
+
+def test_study_engines_bit_identical():
+    from repro.experiments.runtime_study import study_trial_metrics
+
+    sampler = UniformAlpha(0.1, 0.5)
+    for algorithm in ("hf", "ba", "bahf", "phf"):
+        for n in (1, 9, 64):
+            des = study_trial_metrics(
+                algorithm, n, sampler, n_trials=6, seed=55, engine="des"
+            )
+            fast = study_trial_metrics(
+                algorithm, n, sampler, n_trials=6, seed=55, engine="fastpath"
+            )
+            assert des.tobytes() == fast.tobytes(), (algorithm, n)
+
+
+def test_study_chunking_matches_serial():
+    from repro.experiments.runtime_study import study_trial_metrics
+
+    sampler = UniformAlpha(0.15, 0.5)
+    whole = study_trial_metrics("bahf", 32, sampler, n_trials=7, seed=3, engine="fastpath")
+    parts = [
+        study_trial_metrics(
+            "bahf", 32, sampler, n_trials=stop - start, seed=3, start=start,
+            engine="fastpath",
+        )
+        for start, stop in [(0, 3), (3, 5), (5, 7)]
+    ]
+    assert np.concatenate(parts).tobytes() == whole.tobytes()
+
+
+@pytest.mark.parametrize("engine", ["des", "fastpath"])
+def test_runtime_study_njobs_invariant(engine):
+    from repro.experiments.runtime_study import run_runtime_study
+
+    kwargs = dict(
+        n_values=(4, 16),
+        algorithms=("hf", "ba", "phf"),
+        n_repeats=6,
+        seed=17,
+        engine=engine,
+        chunk_size=2,
+    )
+    serial = run_runtime_study(n_jobs=1, **kwargs)
+    parallel = run_runtime_study(n_jobs=4, **kwargs)
+    assert serial.records == parallel.records
+
+
+def test_topology_study_njobs_and_engine_invariant():
+    from repro.experiments.topology_study import run_topology_study
+
+    kwargs = dict(
+        n_values=(16,),
+        topologies=("complete", "ring"),
+        algorithms=("ba", "phf"),
+        n_repeats=4,
+        seed=23,
+        chunk_size=2,
+    )
+    a = run_topology_study(engine="fastpath", n_jobs=1, **kwargs)
+    b = run_topology_study(engine="fastpath", n_jobs=3, **kwargs)
+    c = run_topology_study(engine="des", n_jobs=1, **kwargs)
+    assert a.records == b.records
+    assert a.records == c.records

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.simulator import CentralManager, NumberedFreePool, RangeManager
+from repro.problems import FixedAlpha, SyntheticProblem
+from repro.simulator import (
+    CentralManager,
+    NumberedFreePool,
+    RandomStealManager,
+    RangeManager,
+    simulate_ba,
+    simulate_hf,
+    simulate_phf,
+)
 
 
 class TestRangeManager:
@@ -98,3 +107,102 @@ class TestNumberedFreePool:
         pool = NumberedFreePool([])
         assert pool.remaining == 0
         assert pool.consume(0) == []
+
+
+class TestSingleProcessor:
+    """N = 1: every manager degenerates to 'nothing to hand out'."""
+
+    def test_central_manager_has_no_free(self):
+        cm = CentralManager(1)
+        assert cm.free_count == 0
+        assert cm.free_ids() == []
+        with pytest.raises(RuntimeError):
+            cm.acquire()
+
+    def test_steal_manager_has_no_free(self):
+        sm = RandomStealManager(1, seed=42)
+        assert sm.free_count == 0
+        with pytest.raises(RuntimeError):
+            sm.acquire()
+
+    def test_range_manager_cannot_split(self):
+        rm = RangeManager(1)
+        assert rm.initial_range() == (1, 1)
+        with pytest.raises(ValueError):
+            rm.split((1, 1), 1)
+
+    @pytest.mark.parametrize(
+        "simulate", [simulate_hf, simulate_ba, simulate_phf]
+    )
+    def test_simulations_do_no_bisections(self, simulate):
+        problem = SyntheticProblem(1.0, FixedAlpha(0.4), seed=7)
+        res = simulate(problem, 1)
+        assert res.n_bisections == 0
+        assert res.n_messages == 0
+        assert res.parallel_time == 0.0
+
+
+class TestContention:
+    """All-processors-busy behaviour: exhaustion must fail loudly."""
+
+    def test_central_manager_drains_then_raises(self):
+        cm = CentralManager(4)
+        assert [cm.acquire() for _ in range(3)] == [2, 3, 4]
+        assert cm.free_count == 0
+        with pytest.raises(RuntimeError):
+            cm.acquire()
+
+    def test_steal_manager_drains_then_raises(self):
+        sm = RandomStealManager(4, seed=3)
+        claimed = set()
+        while sm.free_count:
+            proc, probes = sm.acquire()
+            assert probes >= 1
+            claimed.add(proc)
+        assert claimed == {2, 3, 4}
+        with pytest.raises(RuntimeError):
+            sm.acquire()
+
+    def test_pool_resolve_rejected_after_drain(self):
+        pool = NumberedFreePool([2, 5])
+        pool.consume(2)
+        with pytest.raises(ValueError):
+            pool.resolve(1)
+        assert pool.consume(0) == []
+
+
+class TestReleaseOrdering:
+    """Hand-out order is deterministic and independent of lookups."""
+
+    def test_central_manager_order_is_reproducible(self):
+        a = CentralManager(6, first_busy=2)
+        b = CentralManager(6, first_busy=2)
+        assert [a.acquire() for _ in range(5)] == [
+            b.acquire() for _ in range(5)
+        ]
+
+    def test_central_manager_free_ids_is_pure(self):
+        cm = CentralManager(5)
+        before = cm.free_ids()
+        assert cm.free_ids() == before  # lookup must not consume
+        assert cm.acquire() == before[0]
+
+    def test_steal_manager_seed_determinism(self):
+        first = RandomStealManager(9, seed=11)
+        seq = [first.acquire() for _ in range(8)]
+        rerun = RandomStealManager(9, seed=11)
+        assert [rerun.acquire() for _ in range(8)] == seq
+
+    def test_pool_resolve_matches_consume_order(self):
+        ids = [9, 4, 7, 2]
+        pool = NumberedFreePool(ids)
+        expected = [pool.resolve(k) for k in range(1, 5)]
+        assert expected == sorted(ids)  # numbering is ascending by id
+        assert NumberedFreePool(ids).consume(4) == expected
+
+    def test_pool_numbering_shifts_after_consume(self):
+        pool = NumberedFreePool([1, 3, 5, 8])
+        first = pool.consume(1)
+        assert first == [1]
+        # remaining numbers renumber from 1 in the same ascending order
+        assert [pool.resolve(k) for k in (1, 2, 3)] == [3, 5, 8]

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Compare two ``benchmarks/results/BENCH_*.json`` artifacts.
+
+Both files must follow the benchmark-artifact convention used by
+``bench_batch.py`` and ``bench_fastpath.py``: a top-level mapping whose
+entry groups (``"kernels"``, ``"algorithms"``, ...) map names to flat
+dicts of numeric metrics.  The tool diffs every metric present in both
+files and exits non-zero when a higher-is-better metric (throughput,
+speedup) regresses by more than ``--threshold`` percent -- so it can gate
+a CI job against a committed baseline::
+
+    python tools/bench_compare.py \
+        benchmarks/results/BENCH_fastpath.json /tmp/BENCH_fastpath.json \
+        --metrics speedup,fastpath_trials_per_s --threshold 20
+
+Metrics not named in ``--metrics`` are reported but never gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["compare_artifacts", "iter_metrics", "load_artifact", "main"]
+
+#: Top-level keys that hold {name: {metric: value}} entry groups.
+GROUP_KEYS = ("kernels", "algorithms", "entries")
+
+#: Metrics gated by default (all higher-is-better rates).
+DEFAULT_METRICS = (
+    "speedup",
+    "batch_trials_per_s",
+    "fastpath_trials_per_s",
+    "des_trials_per_s",
+    "scalar_trials_per_s",
+)
+
+
+def load_artifact(path: str) -> Dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return payload
+
+
+def iter_metrics(payload: Dict) -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(entry_name, metric_name, value)`` for every numeric metric."""
+    for group in GROUP_KEYS:
+        entries = payload.get(group)
+        if not isinstance(entries, dict):
+            continue
+        for name, metrics in sorted(entries.items()):
+            if not isinstance(metrics, dict):
+                continue
+            for metric, value in sorted(metrics.items()):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                yield name, metric, float(value)
+
+
+def compare_artifacts(
+    baseline: Dict,
+    candidate: Dict,
+    *,
+    metrics: Sequence[str],
+    threshold_pct: float,
+) -> Tuple[List[str], List[str]]:
+    """(report_lines, regression_lines) for candidate vs baseline."""
+    base = {(n, m): v for n, m, v in iter_metrics(baseline)}
+    cand = {(n, m): v for n, m, v in iter_metrics(candidate)}
+    gated = set(metrics)
+    lines: List[str] = []
+    regressions: List[str] = []
+    for key in sorted(base):
+        name, metric = key
+        if key not in cand:
+            lines.append(f"  {name}.{metric}: missing from candidate")
+            if metric in gated:
+                regressions.append(f"{name}.{metric} missing from candidate")
+            continue
+        old, new = base[key], cand[key]
+        if not old:  # zero baseline: no meaningful relative change
+            change = "n/a"
+            pct = 0.0
+        else:
+            pct = (new - old) / abs(old) * 100.0
+            change = f"{pct:+.1f}%"
+        gate = metric in gated
+        mark = "*" if gate else " "
+        lines.append(
+            f" {mark}{name}.{metric}: {old:.4g} -> {new:.4g} ({change})"
+        )
+        # Gated metrics are higher-is-better rates: a drop beyond the
+        # threshold is a regression.
+        if gate and old and pct < -threshold_pct:
+            regressions.append(
+                f"{name}.{metric} regressed {pct:.1f}% "
+                f"({old:.4g} -> {new:.4g}, threshold -{threshold_pct:.1f}%)"
+            )
+    for key in sorted(set(cand) - set(base)):
+        name, metric = key
+        lines.append(f"  {name}.{metric}: new metric ({cand[key]:.4g})")
+    return lines, regressions
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench_compare",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--metrics",
+        default=",".join(DEFAULT_METRICS),
+        help=(
+            "comma-separated higher-is-better metrics to gate on "
+            f"(default: {','.join(DEFAULT_METRICS)})"
+        ),
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="max tolerated drop in a gated metric, percent (default 25)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.threshold < 0.0:
+        print("--threshold must be >= 0", file=sys.stderr)
+        return 2
+    metrics = [m for m in args.metrics.split(",") if m]
+    baseline = load_artifact(args.baseline)
+    candidate = load_artifact(args.candidate)
+    lines, regressions = compare_artifacts(
+        baseline, candidate, metrics=metrics, threshold_pct=args.threshold
+    )
+    print(f"baseline : {args.baseline}")
+    print(f"candidate: {args.candidate}")
+    print(f"gated metrics (*): {', '.join(metrics) or '(none)'}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s)", file=sys.stderr)
+        for reg in regressions:
+            print(f"  {reg}", file=sys.stderr)
+        return 1
+    print("\nOK: no gated metric regressed beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,4 +20,21 @@ python -m pytest -x -q
 echo "== static analysis: repro.lint =="
 python -m repro.lint src tests benchmarks examples --format "${LINT_FORMAT:-json}"
 
+echo "== smoke: runtime study, both engines =="
+# The fastpath kernels must render the same study as the DES oracle.
+des_out=$(python -m repro.experiments.cli runtime --max-n 32 --engine des)
+fast_out=$(python -m repro.experiments.cli runtime --max-n 32 --engine fastpath)
+if [ "$des_out" != "$fast_out" ]; then
+    echo "engine mismatch: des and fastpath render different studies" >&2
+    exit 1
+fi
+
+echo "== smoke: bench_compare self-diff =="
+# A benchmark artifact compared against itself must report no regression.
+if [ -f benchmarks/results/BENCH_fastpath.json ]; then
+    python tools/bench_compare.py \
+        benchmarks/results/BENCH_fastpath.json \
+        benchmarks/results/BENCH_fastpath.json > /dev/null
+fi
+
 echo "== all checks passed =="
