@@ -1,0 +1,283 @@
+"""Crash-safe chunk execution: journaling, resume, timeouts, retry.
+
+The sweep runner and the study runner schedule *trial chunks* whose
+layout and merge order are functions of the configuration alone (never
+of ``n_jobs``) -- see :mod:`repro.experiments.runner`.  That discipline
+is what makes checkpointing trivial: a chunk is a pure function of its
+key, so a journal of ``key -> payload`` lines is a complete record of
+progress, and a resumed run that replays completed chunks from the
+journal and computes only the missing ones produces **bit-identical**
+results (JSON float serialisation round-trips ``float(repr(x)) == x``
+exactly, and the merge order never depended on which process computed a
+chunk).
+
+Journal format (JSON Lines):
+
+* line 1 -- header: ``{"kind": "header", "format": 1, "fingerprint":
+  {...}, "sha256": "..."}`` where the fingerprint captures every
+  config field that determines chunk contents (``n_jobs`` excluded by
+  design: resuming on a different worker count is legal and exact);
+* one line per completed chunk: ``{"kind": "chunk", "key": ...,
+  "payload": ...}``, appended + flushed + fsynced as each chunk lands.
+
+A process killed mid-append leaves at most one truncated trailing line;
+:meth:`ChunkJournal.open` tolerates exactly that (the half-written chunk
+is recomputed).  Resuming against a journal whose fingerprint does not
+match the configuration raises :class:`JournalMismatchError` instead of
+silently mixing incompatible runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "JOURNAL_FORMAT_VERSION",
+    "JournalError",
+    "JournalMismatchError",
+    "ChunkJournal",
+    "fingerprint_digest",
+    "execute_chunks",
+]
+
+JOURNAL_FORMAT_VERSION = 1
+
+
+class JournalError(ValueError):
+    """A journal file is unreadable or structurally invalid."""
+
+
+class JournalMismatchError(JournalError):
+    """A journal belongs to a different configuration than the resume."""
+
+
+def fingerprint_digest(fingerprint: Dict[str, Any]) -> str:
+    """Stable digest of a run fingerprint (sorted-key canonical JSON)."""
+    canon = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class ChunkJournal:
+    """Append-only journal of completed chunks for one run.
+
+    Use :meth:`open` to create or resume; :meth:`record` after each
+    completed chunk; :meth:`close` (or a ``with`` block) when done.  The
+    file is *kept* on success -- deleting it is the caller's decision
+    (a finished journal doubles as a progress artifact).
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        fingerprint: Dict[str, Any],
+        completed: Dict[str, Any],
+    ) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        #: payloads of chunks already recorded, by key
+        self.completed = completed
+        self._handle: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: "str | os.PathLike[str]",
+        *,
+        fingerprint: Dict[str, Any],
+        resume: bool = False,
+    ) -> "ChunkJournal":
+        """Create a fresh journal, or load + continue an existing one.
+
+        ``resume=False`` always starts fresh (an existing file is
+        truncated).  ``resume=True`` loads completed chunks from an
+        existing file -- after verifying its fingerprint -- and missing
+        files simply start fresh, so ``--resume`` is safe to pass
+        unconditionally.
+        """
+        p = Path(path)
+        journal = cls(p, fingerprint, {})
+        if resume and p.exists():
+            journal._load()
+            journal._handle = p.open("a", encoding="utf-8")
+        else:
+            p.parent.mkdir(parents=True, exist_ok=True)
+            journal._handle = p.open("w", encoding="utf-8")
+            header = {
+                "kind": "header",
+                "format": JOURNAL_FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "sha256": fingerprint_digest(fingerprint),
+            }
+            journal._append_line(header)
+        return journal
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise JournalError(f"journal {self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {self.path} has an unreadable header"
+            ) from exc
+        if header.get("kind") != "header":
+            raise JournalError(f"journal {self.path} does not start with a header")
+        if header.get("format") != JOURNAL_FORMAT_VERSION:
+            raise JournalError(
+                f"journal {self.path} has format {header.get('format')!r}, "
+                f"this version reads {JOURNAL_FORMAT_VERSION}"
+            )
+        want = fingerprint_digest(self.fingerprint)
+        if header.get("sha256") != want:
+            raise JournalMismatchError(
+                f"journal {self.path} was written by a different run "
+                f"configuration (journal sha256={header.get('sha256')!r}, "
+                f"expected {want}); refusing to mix results.  Delete the "
+                "journal or drop --resume to start over."
+            )
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # a crash mid-append leaves one truncated trailing
+                    # line; that chunk is simply recomputed
+                    break
+                raise JournalError(
+                    f"journal {self.path} is corrupt at line {lineno}"
+                ) from exc
+            if entry.get("kind") != "chunk" or "key" not in entry:
+                raise JournalError(
+                    f"journal {self.path} has an invalid entry at line {lineno}"
+                )
+            self.completed[entry["key"]] = entry.get("payload")
+
+    # ------------------------------------------------------------------
+
+    def _append_line(self, obj: Dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, key: str, payload: Any) -> None:
+        """Durably record one completed chunk (append + flush + fsync)."""
+        self._append_line({"kind": "chunk", "key": key, "payload": payload})
+        self.completed[key] = payload
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ChunkJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Chunk execution with journaling, per-chunk timeout and bounded retry
+# ----------------------------------------------------------------------
+
+
+def _run_with_retry(worker: Callable[[Any], Any], task: Any, retries: int) -> Any:
+    """Run ``task`` in-process, retrying transient failures."""
+    attempt = 0
+    while True:
+        try:
+            return worker(task)
+        except Exception:
+            attempt += 1
+            if attempt > retries:
+                raise
+
+
+def execute_chunks(
+    tasks: Sequence[Any],
+    worker: Callable[[Any], Any],
+    *,
+    keys: Sequence[str],
+    n_jobs: int,
+    journal: Optional[ChunkJournal] = None,
+    encode: Optional[Callable[[Any], Any]] = None,
+    decode: Optional[Callable[[Any], Any]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+) -> List[Any]:
+    """Run ``worker`` over ``tasks``; returns results in task order.
+
+    * chunks whose ``key`` is already in ``journal.completed`` are not
+      executed -- their results are decoded from the journal payloads
+      (bit-exact: payloads are produced by ``encode`` and JSON floats
+      round-trip);
+    * fresh chunks run on a ``ProcessPoolExecutor`` when ``n_jobs > 1``;
+      a chunk whose worker exceeds ``timeout`` seconds, dies with the
+      pool, or raises, is retried *in the parent process* up to
+      ``retries`` times (workers are pure functions, so re-running one
+      is bit-safe);
+    * every freshly computed chunk is journaled before its result is
+      returned, so a crash at any point loses at most the in-flight
+      chunks.
+    """
+    if len(keys) != len(tasks):
+        raise ValueError(f"{len(tasks)} tasks but {len(keys)} keys")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if encode is None:
+        encode = lambda result: result  # noqa: E731 - identity codec
+    if decode is None:
+        decode = lambda payload: payload  # noqa: E731 - identity codec
+
+    results: List[Any] = [None] * len(tasks)
+    pending: List[int] = []
+    for idx, key in enumerate(keys):
+        if journal is not None and key in journal.completed:
+            results[idx] = decode(journal.completed[key])
+        else:
+            pending.append(idx)
+
+    def finish(idx: int, result: Any) -> None:
+        if journal is not None:
+            journal.record(keys[idx], encode(result))
+        results[idx] = result
+
+    if n_jobs > 1 and len(pending) > 1:
+        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        abandoned = False
+        try:
+            futures = {idx: pool.submit(worker, tasks[idx]) for idx in pending}
+            for idx in pending:
+                if abandoned:
+                    finish(idx, _run_with_retry(worker, tasks[idx], retries))
+                    continue
+                try:
+                    finish(idx, futures[idx].result(timeout=timeout))
+                except (BrokenProcessPool, FutureTimeout):
+                    # The pool died, or a worker blew its deadline and
+                    # may be hung: stop trusting the pool entirely and
+                    # run the rest in-parent.
+                    abandoned = True
+                    finish(idx, _run_with_retry(worker, tasks[idx], retries))
+                except Exception:
+                    finish(idx, _run_with_retry(worker, tasks[idx], retries))
+        finally:
+            # Don't join a possibly-hung worker; cancelled futures are
+            # recomputed in-parent above, so nothing is lost.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+    else:
+        for idx in pending:
+            finish(idx, _run_with_retry(worker, tasks[idx], retries))
+    return results

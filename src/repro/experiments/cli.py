@@ -9,10 +9,15 @@ Usage (installed as ``repro-experiments``, or ``python -m repro.experiments``):
     repro-experiments intervals [--trials T] [--max-n N] [--jobs J]
     repro-experiments nonpow2  [--trials T] [--jobs J]
     repro-experiments runtime  [--max-n N]
+    repro-experiments fault    [--trials T] [--max-n N] [--fault-rates R,R,..]
     repro-experiments all      [--trials T] [--max-n N] [--jobs J]
 
 ``--full`` (or ``REPRO_FULL=1``) selects the paper-scale grid
 (N up to 2^20, 1000 trials) -- expect hours of compute in pure Python.
+
+``--journal FILE`` makes the table1/figure5 sweeps and the fault study
+crash-safe: completed trial chunks are durably appended to FILE and
+``--resume`` continues an interrupted run bit-identically.
 """
 
 from __future__ import annotations
@@ -63,6 +68,39 @@ from repro.experiments.worstcase_study import (
 __all__ = ["main", "build_parser"]
 
 
+def _parse_fault_rates(text: str) -> tuple:
+    """Comma-separated floats in [0, 1]; argparse-friendly errors."""
+    try:
+        rates = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        ) from None
+    if not rates:
+        raise argparse.ArgumentTypeError("needs at least one fault rate")
+    for rate in rates:
+        if rate != rate or not (0.0 <= rate <= 1.0):
+            raise argparse.ArgumentTypeError(
+                f"fault rates must be in [0, 1], got {rate!r}"
+            )
+    return rates
+
+
+def _parse_alpha(text: str) -> float:
+    """A bisection guarantee in (0, 1/2]; argparse-friendly errors."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number in (0, 0.5], got {text!r}"
+        ) from None
+    if value != value or not (0.0 < value <= 0.5):
+        raise argparse.ArgumentTypeError(
+            f"alpha must be in (0, 0.5], got {text!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -81,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
             "intervals",
             "nonpow2",
             "runtime",
+            "fault",
             "topology",
             "worstcase",
             "distributions",
@@ -127,6 +166,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="output path for the 'report' experiment (default REPORT.md)",
     )
+    parser.add_argument(
+        "--fault-rates",
+        type=_parse_fault_rates,
+        default=None,
+        metavar="R,R,..",
+        help=(
+            "comma-separated fault rates in [0, 1] for the 'fault' "
+            "experiment (default 0.0,0.02,0.05,0.1,0.2)"
+        ),
+    )
+    parser.add_argument(
+        "--alpha",
+        type=_parse_alpha,
+        default=None,
+        help=(
+            "fix the bisection parameter to a single value in (0, 0.5] "
+            "instead of sampling it (fault experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "crash-safe mode for table1/figure5/fault: append completed "
+            "trial chunks to FILE as they finish"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --journal: replay completed chunks from an existing "
+            "journal (bit-identical) and compute only the missing ones"
+        ),
+    )
     return parser
 
 
@@ -166,13 +242,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     csv_payload: Optional[str] = None
     json_sweep = None
 
+    # --journal/--resume apply to the sweeps and the fault study; an
+    # "all" run would have every experiment fight over one journal file,
+    # so they are honoured for the single-experiment invocations only.
+    journal_kw = {}
+    if args.journal and args.experiment in ("table1", "figure5", "fault"):
+        journal_kw = {"journal_path": args.journal, "resume": args.resume}
+
     if args.experiment in ("table1", "all"):
-        result = run_table1(**kw)
+        result = run_table1(**kw, **journal_kw)
         outputs.append(render_table1(result))
         csv_payload = sweep_to_csv(result)
         json_sweep = result
     if args.experiment in ("figure5", "all"):
-        result = run_figure5(**kw)
+        result = run_figure5(**kw, **(journal_kw if args.experiment == "figure5" else {}))
         outputs.append(render_figure5(result))
         if args.experiment == "figure5":
             csv_payload = sweep_to_csv(result)
@@ -205,6 +288,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             )
         )
+    if args.experiment in ("fault", "all"):
+        from repro.experiments.fault_study import (
+            DEFAULT_FAULT_RATES,
+            render_fault_study,
+            run_fault_study,
+        )
+        from repro.problems.samplers import FixedAlpha
+
+        fault_ns = tuple(
+            n for n in (32, 64) if args.max_n is None or n <= args.max_n
+        )
+        if not fault_ns:
+            fault_ns = (32,)
+        fault_result = run_fault_study(
+            n_values=fault_ns,
+            fault_rates=args.fault_rates or DEFAULT_FAULT_RATES,
+            sampler=FixedAlpha(args.alpha) if args.alpha is not None else None,
+            n_trials=min(trials, 50) if args.experiment == "all" else trials,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            **(journal_kw if args.experiment == "fault" else {}),
+        )
+        outputs.append(render_fault_study(fault_result))
+        if args.experiment == "fault":
+            header = list(fault_result.records[0].as_dict())
+            rows = [
+                ",".join(str(rec.as_dict()[k]) for k in header)
+                for rec in fault_result.records
+            ]
+            csv_payload = "\n".join([",".join(header)] + rows) + "\n"
     if args.experiment in ("topology", "all"):
         topo_ns = tuple(
             n for n in (16, 64, 256) if args.max_n is None or n <= args.max_n
@@ -248,13 +361,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print("\n\n".join(outputs))
     if args.csv and csv_payload is not None:
-        with open(args.csv, "w") as fh:
-            fh.write(csv_payload)
+        from repro.experiments.io import write_atomic
+
+        try:
+            write_atomic(args.csv, csv_payload)
+        except OSError as exc:
+            print(f"error: cannot write csv to {args.csv}: {exc}", file=sys.stderr)
+            return 1
         print(f"\n[csv written to {args.csv}]", file=sys.stderr)
     if args.json and json_sweep is not None:
         from repro.experiments.io import save_sweep
 
-        save_sweep(json_sweep, args.json)
+        try:
+            save_sweep(json_sweep, args.json)
+        except OSError as exc:
+            print(f"error: cannot write json to {args.json}: {exc}", file=sys.stderr)
+            return 1
         print(f"[json written to {args.json}]", file=sys.stderr)
     return 0
 

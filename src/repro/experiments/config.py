@@ -20,6 +20,7 @@ __all__ = [
     "PAPER_N_VALUES",
     "DEFAULT_N_VALUES",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_CHUNK_RETRIES",
     "DEFAULT_STUDY_CHUNK_SIZE",
     "ENGINES",
     "StochasticConfig",
@@ -37,6 +38,12 @@ DEFAULT_CHUNK_SIZE = 256
 #: topology).  Smaller than the sweep default: one study trial can cost a
 #: whole DES run when a cell falls back to ``engine="des"``.
 DEFAULT_STUDY_CHUNK_SIZE = 64
+
+#: Default bounded-retry count for chunks whose worker times out, dies
+#: with the pool, or raises: the chunk is recomputed in the parent
+#: process up to this many additional times (workers are pure functions
+#: of their task tuple, so re-running one is bit-safe).
+DEFAULT_CHUNK_RETRIES = 2
 
 #: Evaluation engines for the machine-model studies.  ``"fastpath"``
 #: uses the closed-form batched kernels of

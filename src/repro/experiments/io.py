@@ -12,6 +12,8 @@ The format is versioned, stable and human-inspectable.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -26,9 +28,45 @@ from repro.problems.samplers import (
     UniformAlpha,
 )
 
-__all__ = ["save_sweep", "load_sweep", "sweep_to_json", "sweep_from_json"]
+__all__ = [
+    "save_sweep",
+    "load_sweep",
+    "sweep_to_json",
+    "sweep_from_json",
+    "write_atomic",
+]
 
 FORMAT_VERSION = 1
+
+
+def write_atomic(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    A crash mid-write leaves either the old file or the new one, never a
+    torn artifact -- every artifact writer in this repo goes through
+    here.  The temp file lives in the target directory so the replace
+    stays on one filesystem; it is fsynced before the swap so the rename
+    never outruns the data.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            # the temp file is already gone (e.g. the replace succeeded
+            # but a later signal landed); nothing to clean up
+            pass
+        raise
+    return path
 
 
 def _sampler_to_dict(sampler: AlphaSampler) -> dict:
@@ -138,10 +176,8 @@ def sweep_from_json(text: str) -> SweepResult:
 
 
 def save_sweep(result: SweepResult, path: Union[str, Path]) -> Path:
-    """Write a sweep to ``path`` (JSON); returns the path."""
-    path = Path(path)
-    path.write_text(sweep_to_json(result))
-    return path
+    """Write a sweep to ``path`` (JSON, atomically); returns the path."""
+    return write_atomic(path, sweep_to_json(result))
 
 
 def load_sweep(path: Union[str, Path]) -> SweepResult:

@@ -24,19 +24,26 @@ sweeps never materialise every ratio array in the parent.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.bounds import bound_for
 from repro.core.metrics import RatioAccumulator, RatioSample, summarize_ratios
-from repro.experiments.config import StochasticConfig
+from repro.experiments.checkpoint import ChunkJournal, execute_chunks
+from repro.experiments.config import DEFAULT_CHUNK_RETRIES, StochasticConfig
 from repro.experiments.stochastic import trial_ratios
 from repro.problems.samplers import AlphaSampler
 
-__all__ = ["SweepRecord", "SweepResult", "run_sweep", "chunk_bounds"]
+__all__ = [
+    "SweepRecord",
+    "SweepResult",
+    "run_sweep",
+    "chunk_bounds",
+    "sweep_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -143,8 +150,69 @@ def _run_chunk(
     return algorithm, n, start, RatioAccumulator().update(ratios)
 
 
-def run_sweep(config: StochasticConfig) -> SweepResult:
-    """Evaluate every (algorithm, N) cell of ``config``."""
+def sweep_fingerprint(config: StochasticConfig) -> Dict[str, Any]:
+    """Journal fingerprint: every config field that shapes chunk contents.
+
+    ``n_jobs`` is deliberately absent -- the chunk layout and merge order
+    never depend on it, so resuming a journal on a different worker
+    count is legal and bit-exact.
+    """
+    return {
+        "kind": "sweep",
+        "sampler": config.sampler.describe(),
+        "n_values": list(config.n_values),
+        "algorithms": list(config.algorithms),
+        "lam": config.lam,
+        "n_trials": config.n_trials,
+        "seed": config.seed,
+        "chunk_size": config.effective_chunk_size,
+    }
+
+
+def _encode_sweep_chunk(result: Tuple[str, int, int, RatioAccumulator]) -> Dict[str, Any]:
+    algorithm, n, start, acc = result
+    return {
+        "algorithm": algorithm,
+        "n": n,
+        "start": start,
+        "count": acc.count,
+        "mean": acc.mean,
+        "m2": acc.m2,
+        "minimum": acc.minimum,
+        "maximum": acc.maximum,
+    }
+
+
+def _decode_sweep_chunk(payload: Dict[str, Any]) -> Tuple[str, int, int, RatioAccumulator]:
+    acc = RatioAccumulator(
+        count=int(payload["count"]),
+        mean=float(payload["mean"]),
+        m2=float(payload["m2"]),
+        minimum=float(payload["minimum"]),
+        maximum=float(payload["maximum"]),
+    )
+    return payload["algorithm"], int(payload["n"]), int(payload["start"]), acc
+
+
+def run_sweep(
+    config: StochasticConfig,
+    *,
+    journal_path: Optional["str | os.PathLike[str]"] = None,
+    resume: bool = False,
+    chunk_timeout: Optional[float] = None,
+    chunk_retries: Optional[int] = None,
+) -> SweepResult:
+    """Evaluate every (algorithm, N) cell of ``config``.
+
+    ``journal_path`` enables crash-safe execution: each completed trial
+    chunk is durably appended to a JSONL journal, and ``resume=True``
+    replays completed chunks from an existing journal instead of
+    recomputing them -- bit-identically, for any ``n_jobs`` (see
+    :mod:`repro.experiments.checkpoint`).  ``chunk_timeout`` bounds one
+    chunk's wall time in a worker process; a timed-out (or crashed)
+    chunk is recomputed in the parent with up to ``chunk_retries``
+    retries (default :data:`~repro.experiments.config.DEFAULT_CHUNK_RETRIES`).
+    """
     chunks = chunk_bounds(config.n_trials, config.effective_chunk_size)
     cells = [
         (algo, n) for algo in config.algorithms for n in config.n_values
@@ -154,11 +222,34 @@ def run_sweep(config: StochasticConfig) -> SweepResult:
         for algo, n in cells
         for start, stop in chunks
     ]
-    if config.n_jobs > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=config.n_jobs) as pool:
-            raw = list(pool.map(_run_chunk, tasks))
-    else:
-        raw = [_run_chunk(task) for task in tasks]
+    keys = [
+        f"{algo}:{n}:{start}"
+        for algo, n in cells
+        for start, _ in chunks
+    ]
+    retries = DEFAULT_CHUNK_RETRIES if chunk_retries is None else chunk_retries
+    journal = (
+        ChunkJournal.open(
+            journal_path, fingerprint=sweep_fingerprint(config), resume=resume
+        )
+        if journal_path is not None
+        else None
+    )
+    try:
+        raw = execute_chunks(
+            tasks,
+            _run_chunk,
+            keys=keys,
+            n_jobs=config.n_jobs,
+            journal=journal,
+            encode=_encode_sweep_chunk,
+            decode=_decode_sweep_chunk,
+            timeout=chunk_timeout,
+            retries=retries,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
 
     # Reduce chunk accumulators per cell, always in chunk-start order:
     # the merge tree is a function of the config alone, so statistics are

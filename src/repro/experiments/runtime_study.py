@@ -31,13 +31,18 @@ fastpath applies.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.config import DEFAULT_STUDY_CHUNK_SIZE, normalize_engine
+from repro.experiments.checkpoint import ChunkJournal, execute_chunks
+from repro.experiments.config import (
+    DEFAULT_CHUNK_RETRIES,
+    DEFAULT_STUDY_CHUNK_SIZE,
+    normalize_engine,
+)
 from repro.experiments.runner import chunk_bounds
 from repro.experiments.stochastic import _trial_factory, normalize_algorithm
 from repro.problems.prescribed import prescribed_problem
@@ -234,6 +239,48 @@ def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
     return cell_key, start, matrix
 
 
+def study_fingerprint(
+    cells: Sequence[Tuple[Hashable, str, int, Optional[MachineConfig]]],
+    sampler: AlphaSampler,
+    *,
+    n_trials: int,
+    seed: int,
+    lam: float,
+    phf_phase1: str,
+    engine: str,
+    chunk_size: int,
+) -> Dict[str, Any]:
+    """Journal fingerprint for a study run (``n_jobs`` excluded by design).
+
+    Cells are identified by ``repr`` -- cell keys are tuples of
+    primitives and :class:`MachineConfig` is a dataclass of primitives,
+    so the representations are stable across processes.
+    """
+    return {
+        "kind": "study",
+        "cells": [
+            [repr(cell_key), algo, n, repr(config)]
+            for cell_key, algo, n, config in cells
+        ],
+        "sampler": sampler.describe(),
+        "n_trials": n_trials,
+        "seed": seed,
+        "lam": lam,
+        "phf_phase1": phf_phase1,
+        "engine": engine,
+        "chunk_size": chunk_size,
+    }
+
+
+def _encode_study_chunk(
+    result: Tuple[Hashable, int, np.ndarray]
+) -> Dict[str, Any]:
+    cell_key, start, matrix = result
+    # JSON float repr round-trips exactly, so the matrix payload is a
+    # bit-exact serialisation.
+    return {"start": start, "matrix": matrix.tolist()}
+
+
 def run_study_cells(
     cells: Sequence[Tuple[Hashable, str, int, Optional[MachineConfig]]],
     sampler: AlphaSampler,
@@ -245,6 +292,10 @@ def run_study_cells(
     engine: str = "fastpath",
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    journal_path: Optional["str | os.PathLike[str]"] = None,
+    resume: bool = False,
+    chunk_timeout: Optional[float] = None,
+    chunk_retries: Optional[int] = None,
 ) -> Dict[Hashable, np.ndarray]:
     """Trial-chunked evaluation of many study cells.
 
@@ -254,6 +305,11 @@ def run_study_cells(
     chunk matrices are concatenated in chunk-start order, so the
     returned ``(n_trials, len(METRIC_COLUMNS))`` matrices are
     bit-identical for any worker count.
+
+    ``journal_path``/``resume``/``chunk_timeout``/``chunk_retries``
+    enable the crash-safe execution mode of
+    :mod:`repro.experiments.checkpoint`: completed chunks are durably
+    journaled and a resumed run replays them bit-identically.
     """
     engine = normalize_engine(engine)
     if n_jobs < 1:
@@ -265,11 +321,64 @@ def run_study_cells(
         for cell_key, algo, n, config in cells
         for start, stop in chunks
     ]
-    if n_jobs > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            raw = list(pool.map(_study_chunk, tasks))
-    else:
-        raw = [_study_chunk(task) for task in tasks]
+    keys = [
+        f"{cell_key!r}:{start}"
+        for cell_key, _, _, _ in cells
+        for start, _ in chunks
+    ]
+    cell_by_journal_key = {
+        f"{cell_key!r}:{start}": (cell_key, start)
+        for cell_key, _, _, _ in cells
+        for start, _ in chunks
+    }
+    retries = DEFAULT_CHUNK_RETRIES if chunk_retries is None else chunk_retries
+    journal = (
+        ChunkJournal.open(
+            journal_path,
+            fingerprint=study_fingerprint(
+                cells,
+                sampler,
+                n_trials=n_trials,
+                seed=seed,
+                lam=lam,
+                phf_phase1=phf_phase1,
+                engine=engine,
+                chunk_size=size,
+            ),
+            resume=resume,
+        )
+        if journal_path is not None
+        else None
+    )
+    try:
+        raw = execute_chunks(
+            tasks,
+            _study_chunk,
+            keys=keys,
+            n_jobs=n_jobs,
+            journal=journal,
+            encode=_encode_study_chunk,
+            decode=None,
+            timeout=chunk_timeout,
+            retries=retries,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    # Journal payloads come back as plain dicts; rebuild the worker's
+    # (cell_key, start, matrix) triple for those entries.
+    raw = [
+        item
+        if not isinstance(item, dict)
+        else (
+            cell_by_journal_key[keys[i]][0],
+            int(item["start"]),
+            np.asarray(item["matrix"], dtype=np.float64).reshape(
+                -1, len(METRIC_COLUMNS)
+            ),
+        )
+        for i, item in enumerate(raw)
+    ]
 
     per_cell: Dict[Hashable, List[Tuple[int, np.ndarray]]] = {
         cell_key: [] for cell_key, _, _, _ in cells

@@ -29,15 +29,20 @@ def run_table1(
     n_values: Optional[Sequence[int]] = None,
     seed: int = 20260706,
     n_jobs: int = 1,
+    **sweep_kwargs,
 ) -> SweepResult:
-    """Run the Table 1 sweep (α̂ ~ U[0.01, 0.5], λ = 1.0)."""
+    """Run the Table 1 sweep (α̂ ~ U[0.01, 0.5], λ = 1.0).
+
+    ``sweep_kwargs`` pass through to :func:`run_sweep`
+    (``journal_path``/``resume``/``chunk_timeout``/``chunk_retries``).
+    """
     config = StochasticConfig.paper_table1(
         n_trials=n_trials,
         n_values=tuple(n_values) if n_values is not None else PAPER_N_VALUES,
         seed=seed,
         n_jobs=n_jobs,
     )
-    return run_sweep(config)
+    return run_sweep(config, **sweep_kwargs)
 
 
 def render_table1(result: SweepResult) -> str:

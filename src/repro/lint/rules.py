@@ -26,6 +26,7 @@ __all__ = [
     "SeedKeywordOnlyRule",
     "SetIterationRule",
     "PoolPicklableRule",
+    "SwallowedExceptionRule",
 ]
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
@@ -466,4 +467,77 @@ class PoolPicklableRule(Rule):
                     f"nested function `{payload.id}` submitted to "
                     f".{func.attr}(); move it to module level so it pickles "
                     "without capturing local state",
+                )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    rule_id = "R009"
+    name = "swallowed-exception"
+    description = (
+        "no bare `except:` and no `except Exception:` whose body only "
+        "passes -- failures must surface or be handled."
+    )
+    rationale = (
+        "A reproduction's credibility rests on loud failure: a swallowed "
+        "exception can silently truncate a sweep, drop a chunk from a "
+        "journal or mask a broken invariant, and the resulting artifact "
+        "looks complete while being wrong.  Catch the narrowest exception "
+        "that the recovery actually handles, and do something in the "
+        "handler (log, degrade, re-raise)."
+    )
+    bad = (
+        "try:\n"
+        "    value = compute()\n"
+        "except Exception:\n"
+        "    pass\n"
+    )
+    good = (
+        "try:\n"
+        "    value = compute()\n"
+        "except ValueError as exc:\n"
+        "    raise SimulationError('bad cell') from exc\n"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    @staticmethod
+    def _body_is_noop(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or `...`
+            return False
+        return True
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        node = handler.type
+        if isinstance(node, ast.Name):
+            return node.id in self._BROAD
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._BROAD
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt/SystemExit; name the exception "
+                    "(at most `Exception`) and handle it",
+                )
+            elif self._is_broad(node) and self._body_is_noop(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "broad exception handler silently discards the error; "
+                    "catch the narrowest type the recovery handles, or "
+                    "log/degrade/re-raise in the handler",
                 )

@@ -15,18 +15,43 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "ScheduledEvent"]
 
 
 class SimulationError(RuntimeError):
     """Raised when a simulated execution violates model invariants."""
 
 
+class ScheduledEvent:
+    """Handle for one scheduled callback; ``cancel()`` makes it a no-op.
+
+    Cancellation is what timeout protocols need: the fault-aware
+    simulations (:mod:`repro.resilience.sim`) schedule an ack-timeout
+    event alongside every hand-off and cancel it when the ack arrives.
+    A cancelled event is skipped by the loop without being counted in
+    ``events_processed``, so simulations that never cancel behave exactly
+    as before.
+    """
+
+    __slots__ = ("callback",)
+
+    def __init__(self, callback: Callable[[], None]) -> None:
+        self.callback: Optional[Callable[[], None]] = callback
+
+    def cancel(self) -> None:
+        """Drop the callback; the event fires as a no-op."""
+        self.callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+
 class Simulator:
     """Deterministic discrete-event loop."""
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
         self._seq = 0
         self._now = 0.0
         self._events_processed = 0
@@ -40,28 +65,37 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` time units from now (``delay ≥ 0``)."""
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback`` ``delay`` time units from now (``delay ≥ 0``).
+
+        Returns a :class:`ScheduledEvent` handle that can ``cancel()``
+        the callback before it fires.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        event = ScheduledEvent(callback)
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
+        return event
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Run ``callback`` at absolute simulation time ``time`` (≥ now).
 
         Pushes the absolute time directly (no round-trip through a
         relative delay), so the event fires at exactly the requested
         float, and a request in the past reports both the requested time
-        and the current clock.
+        and the current clock.  Returns a cancellable handle like
+        :meth:`schedule`.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at absolute time {time}: "
                 f"it is in the past (now={self._now})"
             )
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        event = ScheduledEvent(callback)
+        heapq.heappush(self._queue, (time, self._seq, event))
         self._seq += 1
+        return event
 
     def run(self, *, max_events: int = 10_000_000) -> float:
         """Process events until the queue drains; returns the final time.
@@ -82,7 +116,10 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
-                time, _, callback = heappop(queue)
+                time, _, event = heappop(queue)
+                callback = event.callback
+                if callback is None:  # cancelled: skip without counting
+                    continue
                 if time < now:
                     raise SimulationError("event queue went back in time")  # pragma: no cover
                 now = time

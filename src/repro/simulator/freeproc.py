@@ -32,6 +32,7 @@ __all__ = [
     "CentralManager",
     "NumberedFreePool",
     "RandomStealManager",
+    "SurvivorPool",
 ]
 
 
@@ -144,6 +145,53 @@ class RandomStealManager:
     def free_ids(self) -> List[int]:
         """Ids still free, ascending."""
         return sorted(self._free)
+
+
+class SurvivorPool:
+    """Crash-schedule-aware processor lookups for recovery.
+
+    Built from a per-processor fail-stop schedule (``crash_time[i]`` is
+    the time ``P_{i+1}`` stops accepting work, ``inf`` = never) -- a
+    plain sequence, so the simulator layer stays independent of
+    :mod:`repro.resilience`.  Recovery policies use it to re-target a
+    failed hand-off at the first *surviving* processor of a range ("the
+    free-processor manager", Section 3.4, extended with liveness).
+    Deterministic: a pure function of the schedule and the query time.
+    """
+
+    def __init__(self, crash_time: List[float]) -> None:
+        if not crash_time:
+            raise ValueError("need at least one processor")
+        for t in crash_time:
+            if t != t or t < 0.0:  # NaN-safe: NaN != NaN
+                raise ValueError(f"crash times must be >= 0, got {t!r}")
+        self.n = len(crash_time)
+        self._crash = list(crash_time)
+
+    def alive(self, proc: int, time: float) -> bool:
+        """Does ``P_proc`` still accept work at ``time``?"""
+        if not (1 <= proc <= self.n):
+            raise ValueError(f"processor id {proc} out of range 1..{self.n}")
+        return time < self._crash[proc - 1]
+
+    def first_alive_in(
+        self, lo: int, hi: int, time: float
+    ) -> Optional[int]:
+        """Lowest id in ``[lo, hi]`` alive at ``time``, or ``None``."""
+        lo = max(1, lo)
+        hi = min(self.n, hi)
+        for p in range(lo, hi + 1):
+            if time < self._crash[p - 1]:
+                return p
+        return None
+
+    def alive_ids(self, time: float) -> List[int]:
+        """All processor ids alive at ``time``, ascending."""
+        return [p for p in range(1, self.n + 1) if time < self._crash[p - 1]]
+
+    def n_alive(self, time: float) -> int:
+        """Number of processors alive at ``time``."""
+        return sum(1 for t in self._crash if time < t)
 
 
 class NumberedFreePool:

@@ -27,8 +27,9 @@ object (:class:`~repro.simulator.trace.SimulationResult`) summarises them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.simulator.collectives import CollectiveModel, LogCost
 from repro.simulator.topology import Topology
@@ -71,9 +72,20 @@ class MachineConfig:
     record_events: bool = False
 
     def __post_init__(self) -> None:
+        # Negative or NaN unit costs would silently corrupt every timing
+        # the machine reports (NaN poisons max/sum without raising), so
+        # each field is validated by name at construction.
         for name in ("t_bisect", "t_send", "c_collective", "t_acquire", "t_hop"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"MachineConfig.{name} must be a number, got {value!r}"
+                )
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"MachineConfig.{name} must be finite and non-negative, "
+                    f"got {value!r}"
+                )
 
     def collective_cost(self, n: int) -> float:
         """Cost of one global operation over ``n`` processors."""
@@ -82,13 +94,28 @@ class MachineConfig:
 
 
 class Machine:
-    """State of one simulated machine run."""
+    """State of one simulated machine run.
 
-    def __init__(self, n_processors: int, config: Optional[MachineConfig] = None) -> None:
+    ``faults`` is an optional fault model (duck-typed, see
+    :class:`repro.resilience.faults.FaultPlan`) providing
+    ``scale_work(proc, cost)`` / ``scale_comm(src, cost)`` straggler
+    multipliers.  When ``faults`` is ``None`` -- the default, and the
+    only mode the algorithm simulations in this package use -- every
+    code path below is byte-for-byte the fault-free arithmetic.
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        config: Optional[MachineConfig] = None,
+        *,
+        faults: Optional[object] = None,
+    ) -> None:
         if n_processors < 1:
             raise ValueError(f"n_processors must be >= 1, got {n_processors}")
         self.n = n_processors
         self.config = config or MachineConfig()
+        self.faults = faults
         #: busy_until[i] = simulation time until which P_{i+1} is occupied
         self.busy_until: List[float] = [0.0] * n_processors
         #: total productive (bisection) time per processor, for utilisation
@@ -123,9 +150,12 @@ class Machine:
         """P_proc performs one bisection starting at ``start``; returns end."""
         i = self._check_proc(proc)
         begin = max(start, self.busy_until[i])
-        end = begin + self.config.t_bisect
+        cost = self.config.t_bisect
+        if self.faults is not None:
+            cost = self.faults.scale_work(proc, cost)
+        end = begin + cost
         self.busy_until[i] = end
-        self.work_time[i] += self.config.t_bisect
+        self.work_time[i] += cost
         self.n_bisections += 1
         self._record("bisect", begin, end, proc)
         return end
@@ -149,7 +179,10 @@ class Machine:
         if src == dst:
             raise ValueError("a processor does not send to itself")
         begin = max(start, self.busy_until[i])
-        end = begin + self.send_cost(src, dst)
+        cost = self.send_cost(src, dst)
+        if self.faults is not None:
+            cost = self.faults.scale_comm(src, cost)
+        end = begin + cost
         self.busy_until[i] = end
         self.n_messages += 1
         if self.topology is not None:
@@ -170,7 +203,10 @@ class Machine:
         i = self._check_proc(src)
         self._check_proc(dst)
         begin = max(start, self.busy_until[i])
-        end = begin + self.config.t_acquire
+        cost = self.config.t_acquire
+        if self.faults is not None:
+            cost = self.faults.scale_comm(src, cost)
+        end = begin + cost
         self.busy_until[i] = end
         self.n_control_messages += 1
         self._record("control", begin, end, src, dst)
@@ -197,6 +233,30 @@ class Machine:
         end = begin + cost
         for i in range(self.n):
             self.busy_until[i] = end
+        self.n_collectives += 1
+        self.collective_time += cost
+        self._record("collective", begin, end)
+        return end
+
+    def collective_among(self, procs: Iterable[int], start: float) -> float:
+        """A global operation among the subset ``procs`` only.
+
+        The degraded-mode collective: after a group reconfiguration the
+        survivors synchronise among themselves and dead processors are
+        left out of the barrier (their ``busy_until`` stays frozen at
+        their last action).  Costs ``collective_cost(len(procs))`` and
+        occupies exactly the participants.
+        """
+        ids = sorted(set(procs))
+        if not ids:
+            raise ValueError("a collective needs at least one participant")
+        for p in ids:
+            self._check_proc(p)
+        cost = self.config.collective_cost(len(ids))
+        begin = max(start, max(self.busy_until[p - 1] for p in ids))
+        end = begin + cost
+        for p in ids:
+            self.busy_until[p - 1] = end
         self.n_collectives += 1
         self.collective_time += cost
         self._record("collective", begin, end)

@@ -1,0 +1,273 @@
+"""Tests for the crash-safe chunk journal and resumable execution."""
+
+import json
+
+import pytest
+
+from repro.experiments.checkpoint import (
+    ChunkJournal,
+    JournalError,
+    JournalMismatchError,
+    execute_chunks,
+    fingerprint_digest,
+)
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import run_sweep, sweep_fingerprint
+
+FP = {"kind": "test", "seed": 7}
+
+
+def _double(task):
+    return task * 2
+
+
+class _Flaky:
+    """Fails the first ``n_failures`` calls, then succeeds."""
+
+    def __init__(self, n_failures):
+        self.remaining = n_failures
+
+    def __call__(self, task):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise RuntimeError("transient")
+        return task * 2
+
+
+class TestChunkJournal:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", {"x": 1})
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["sha256"] == fingerprint_digest(FP)
+        assert json.loads(lines[1]) == {
+            "kind": "chunk",
+            "key": "a:0",
+            "payload": {"x": 1},
+        }
+
+    def test_resume_loads_completed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            journal.record("a:8", 2.5)
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"a:0": 1.5, "a:8": 2.5}
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "does-not-exist.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {}
+        assert path.exists()
+
+    def test_resume_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+        with path.open("a") as fh:
+            fh.write('{"kind": "chunk", "key": "a:8", "pay')
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"a:0": 1.5}
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            journal.record("a:8", 2.5)
+        # corrupting a NON-trailing line is real damage, not a torn tail
+        text = path.read_text()
+        assert '"key":"a:0"' in text
+        path.write_text(text.replace('"key":"a:0"', '"key":"a:0'))
+        with pytest.raises(JournalError, match="corrupt"):
+            ChunkJournal.open(path, fingerprint=FP, resume=True)
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ChunkJournal.open(path, fingerprint=FP).close()
+        with pytest.raises(JournalMismatchError, match="different run"):
+            ChunkJournal.open(
+                path, fingerprint={"kind": "test", "seed": 8}, resume=True
+            )
+
+    def test_no_resume_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            assert journal.completed == {}
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestExecuteChunks:
+    def test_results_in_task_order(self):
+        out = execute_chunks(
+            [3, 1, 2], _double, keys=["k3", "k1", "k2"], n_jobs=1
+        )
+        assert out == [6, 2, 4]
+
+    def test_journal_replay_skips_completed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("k1", 1111)
+
+            def boom(task):
+                raise AssertionError("completed chunk must not re-run")
+
+            out = execute_chunks(
+                [1], boom, keys=["k1"], n_jobs=1, journal=journal
+            )
+        assert out == [1111]
+
+    def test_fresh_chunks_are_journaled(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            execute_chunks(
+                [1, 2], _double, keys=["k1", "k2"], n_jobs=1, journal=journal
+            )
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"k1": 2, "k2": 4}
+
+    def test_encode_decode_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            execute_chunks(
+                [1],
+                _double,
+                keys=["k1"],
+                n_jobs=1,
+                journal=journal,
+                encode=lambda r: {"value": r},
+            )
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            out = execute_chunks(
+                [1],
+                _double,
+                keys=["k1"],
+                n_jobs=1,
+                journal=journal,
+                decode=lambda p: p["value"],
+            )
+        assert out == [2]
+
+    def test_retries_transient_failures(self):
+        out = execute_chunks(
+            [5], _Flaky(2), keys=["k"], n_jobs=1, retries=2
+        )
+        assert out == [10]
+
+    def test_retries_exhausted_raises(self):
+        with pytest.raises(RuntimeError, match="transient"):
+            execute_chunks([5], _Flaky(3), keys=["k"], n_jobs=1, retries=2)
+
+    def test_key_count_must_match(self):
+        with pytest.raises(ValueError, match="keys"):
+            execute_chunks([1, 2], _double, keys=["k1"], n_jobs=1)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            execute_chunks([1], _double, keys=["k1"], n_jobs=1, retries=-1)
+
+
+class TestSweepResume:
+    def config(self, **overrides):
+        kw = dict(n_trials=12, n_values=(4, 8), seed=11, chunk_size=4)
+        kw.update(overrides)
+        return StochasticConfig.paper_table1(**kw)
+
+    def test_journaled_run_matches_plain(self, tmp_path):
+        config = self.config()
+        plain = run_sweep(config)
+        journaled = run_sweep(config, journal_path=tmp_path / "s.jsonl")
+        assert journaled.records == plain.records
+
+    def test_truncated_resume_is_bit_identical(self, tmp_path):
+        config = self.config()
+        plain = run_sweep(config)
+        journal = tmp_path / "s.jsonl"
+        run_sweep(config, journal_path=journal)
+        lines = journal.read_text().splitlines(keepends=True)
+        keep = 1 + (len(lines) - 1) // 2
+        journal.write_text("".join(lines[:keep]) + '{"kind": "chu')
+        resumed = run_sweep(config, journal_path=journal, resume=True)
+        assert resumed.records == plain.records
+
+    def test_resume_with_different_n_jobs_is_exact(self, tmp_path):
+        plain = run_sweep(self.config())
+        journal = tmp_path / "s.jsonl"
+        run_sweep(self.config(), journal_path=journal)
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[: len(lines) // 2]))
+        resumed = run_sweep(
+            self.config(n_jobs=4), journal_path=journal, resume=True
+        )
+        assert resumed.records == plain.records
+
+    def test_fingerprint_excludes_n_jobs(self):
+        assert sweep_fingerprint(self.config()) == sweep_fingerprint(
+            self.config(n_jobs=4)
+        )
+
+    def test_fingerprint_tracks_config(self):
+        assert sweep_fingerprint(self.config()) != sweep_fingerprint(
+            self.config(seed=12)
+        )
+
+    def test_mismatched_config_refuses_resume(self, tmp_path):
+        journal = tmp_path / "s.jsonl"
+        run_sweep(self.config(), journal_path=journal)
+        with pytest.raises(JournalMismatchError):
+            run_sweep(
+                self.config(seed=12), journal_path=journal, resume=True
+            )
+
+
+class TestStudyResume:
+    def test_truncated_resume_is_bit_identical(self, tmp_path):
+        import numpy as np
+
+        from repro.experiments.runtime_study import run_study_cells
+        from repro.problems.samplers import UniformAlpha
+
+        cells = [("ba-4", "ba", 4, None), ("hf-8", "hf", 8, None)]
+        kw = dict(
+            cells=cells,
+            sampler=UniformAlpha(0.1, 0.5),
+            n_trials=6,
+            seed=3,
+            chunk_size=2,
+        )
+        plain = run_study_cells(**kw)
+        journal = tmp_path / "study.jsonl"
+        run_study_cells(**kw, journal_path=journal)
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[: 1 + (len(lines) - 1) // 2]))
+        resumed = run_study_cells(**kw, journal_path=journal, resume=True)
+        assert sorted(plain) == sorted(resumed)
+        for key in plain:
+            assert np.array_equal(plain[key], resumed[key])
+
+
+class TestFaultStudyResume:
+    def test_truncated_resume_is_bit_identical(self, tmp_path):
+        from repro.experiments.fault_study import run_fault_study
+
+        kw = dict(
+            algorithms=("ba",),
+            n_values=(8,),
+            fault_rates=(0.0, 0.2),
+            n_trials=6,
+            seed=13,
+            chunk_size=2,
+        )
+        plain = run_fault_study(**kw)
+        journal = tmp_path / "fault.jsonl"
+        run_fault_study(**kw, journal_path=journal)
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[: 1 + (len(lines) - 1) // 2]))
+        resumed = run_fault_study(**kw, journal_path=journal, resume=True)
+        assert [r.as_dict() for r in resumed.records] == [
+            r.as_dict() for r in plain.records
+        ]

@@ -95,3 +95,105 @@ class TestMain:
         assert main(["table1", "--trials", "2", "--max-n", "64"]) == 0
         out = capsys.readouterr().out
         assert "2 trials" in out
+
+    def test_fault_smoke(self, capsys):
+        assert main(["fault", "--trials", "3", "--max-n", "32"]) == 0
+        assert "Fault study" in capsys.readouterr().out
+
+    def test_fault_csv_written(self, tmp_path, capsys):
+        target = tmp_path / "fault.csv"
+        assert (
+            main(
+                [
+                    "fault",
+                    "--trials",
+                    "3",
+                    "--max-n",
+                    "32",
+                    "--fault-rates",
+                    "0.0,0.2",
+                    "--csv",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.read_text().startswith("algorithm,")
+
+    def test_journal_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "t1.jsonl"
+        argv = [
+            "table1",
+            "--trials",
+            "4",
+            "--max-n",
+            "64",
+            "--journal",
+            str(journal),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestErrorPaths:
+    """Bad inputs exit non-zero with a one-line message, no traceback."""
+
+    def _argparse_error(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        return err
+
+    def test_unknown_engine(self, capsys):
+        err = self._argparse_error(
+            capsys, ["runtime", "--max-n", "32", "--engine", "warp"]
+        )
+        assert "--engine" in err
+
+    def test_alpha_out_of_range(self, capsys):
+        err = self._argparse_error(
+            capsys, ["fault", "--trials", "2", "--alpha", "0.7"]
+        )
+        assert "(0, 0.5]" in err
+
+    def test_alpha_not_a_number(self, capsys):
+        err = self._argparse_error(
+            capsys, ["fault", "--trials", "2", "--alpha", "many"]
+        )
+        assert "(0, 0.5]" in err
+
+    def test_fault_rates_out_of_range(self, capsys):
+        err = self._argparse_error(
+            capsys, ["fault", "--trials", "2", "--fault-rates", "0.1,1.5"]
+        )
+        assert "[0, 1]" in err
+
+    def test_fault_rates_garbage(self, capsys):
+        err = self._argparse_error(
+            capsys, ["fault", "--trials", "2", "--fault-rates", "a,b"]
+        )
+        assert "comma-separated" in err
+
+    def test_csv_to_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "out.csv"
+        rc = main(
+            ["table1", "--trials", "2", "--max-n", "64", "--csv", str(target)]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "cannot write csv" in err
+        assert "Traceback" not in err
+
+    def test_json_to_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "out.json"
+        rc = main(
+            ["table1", "--trials", "2", "--max-n", "64", "--json", str(target)]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "cannot write json" in err
+        assert "Traceback" not in err

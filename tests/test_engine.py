@@ -100,3 +100,31 @@ class TestErrors:
         sim.schedule(0.0, forever)
         with pytest.raises(SimulationError, match="max_events"):
             sim.run(max_events=100)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire_or_count(self):
+        from repro.simulator.engine import Simulator
+
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("timeout"))
+        sim.schedule(2.0, lambda: log.append("late"))
+        handle.cancel()
+        assert handle.cancelled
+        sim.run()
+        assert log == ["late"]
+        assert sim.events_processed == 1
+
+    def test_cancel_inside_earlier_event(self):
+        # The ack-timeout pattern: the ack arrives first and cancels the
+        # pending timeout scheduled for later.
+        from repro.simulator.engine import Simulator
+
+        sim = Simulator()
+        log = []
+        timeout = sim.schedule(5.0, lambda: log.append("timeout"))
+        sim.schedule(1.0, lambda: (log.append("ack"), timeout.cancel()))
+        end = sim.run()
+        assert log == ["ack"]
+        assert end == 5.0 or end == 1.0  # loop may or may not advance past no-ops

@@ -120,3 +120,47 @@ class TestCliJson:
         )
         clone = load_sweep(target)
         assert clone.config.n_trials == 3
+
+
+class TestWriteAtomic:
+    def test_writes_text(self, tmp_path):
+        from repro.experiments.io import write_atomic
+
+        target = tmp_path / "out.txt"
+        assert write_atomic(target, "hello\n") == target
+        assert target.read_text() == "hello\n"
+
+    def test_overwrites_whole_file(self, tmp_path):
+        from repro.experiments.io import write_atomic
+
+        target = tmp_path / "out.txt"
+        target.write_text("x" * 1000)
+        write_atomic(target, "short")
+        assert target.read_text() == "short"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        from repro.experiments.io import write_atomic
+
+        target = tmp_path / "out.txt"
+        write_atomic(target, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_missing_directory_raises_oserror(self, tmp_path):
+        from repro.experiments.io import write_atomic
+
+        with pytest.raises(OSError):
+            write_atomic(tmp_path / "nope" / "out.txt", "data")
+
+    def test_failure_cleans_up_temp(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.experiments import io as io_mod
+
+        def boom(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(io_mod.os, "replace", boom)
+        target = tmp_path / "out.txt"
+        with pytest.raises(OSError, match="disk on fire"):
+            io_mod.write_atomic(target, "data")
+        assert list(tmp_path.iterdir()) == []

@@ -119,3 +119,21 @@ class TestCollectiveModels:
     def test_invalid_participants(self):
         with pytest.raises(ValueError):
             LogCost()(0)
+
+
+class TestConfigValidation:
+    def test_nan_cost_names_the_field(self):
+        with pytest.raises(ValueError, match="t_send"):
+            MachineConfig(t_send=float("nan"))
+
+    def test_negative_cost_names_the_field(self):
+        with pytest.raises(ValueError, match="c_collective"):
+            MachineConfig(c_collective=-2.0)
+        with pytest.raises(ValueError, match="t_hop"):
+            MachineConfig(t_hop=-0.5)
+
+    def test_non_numeric_cost_names_the_field(self):
+        with pytest.raises(ValueError, match="t_acquire"):
+            MachineConfig(t_acquire="fast")
+        with pytest.raises(ValueError, match="t_bisect"):
+            MachineConfig(t_bisect=True)

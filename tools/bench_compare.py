@@ -69,17 +69,31 @@ def compare_artifacts(
     *,
     metrics: Sequence[str],
     threshold_pct: float,
-) -> Tuple[List[str], List[str]]:
-    """(report_lines, regression_lines) for candidate vs baseline."""
+) -> Tuple[List[str], List[str], List[str]]:
+    """(report_lines, regression_lines, warnings) for candidate vs baseline.
+
+    A metric key present in one artifact but not the other is never an
+    error: each such key yields one ``warnings`` entry (and, when the
+    metric is gated, a regression), so artifacts written by different
+    benchmark versions still diff cleanly.
+    """
     base = {(n, m): v for n, m, v in iter_metrics(baseline)}
     cand = {(n, m): v for n, m, v in iter_metrics(candidate)}
     gated = set(metrics)
     lines: List[str] = []
     regressions: List[str] = []
+    warnings: List[str] = []
+    seen_metrics = {m for _, m in base} | {m for _, m in cand}
+    for metric in metrics:
+        if metric not in seen_metrics:
+            warnings.append(
+                f"gated metric {metric!r} appears in neither artifact"
+            )
     for key in sorted(base):
         name, metric = key
         if key not in cand:
             lines.append(f"  {name}.{metric}: missing from candidate")
+            warnings.append(f"{name}.{metric} missing from candidate")
             if metric in gated:
                 regressions.append(f"{name}.{metric} missing from candidate")
             continue
@@ -105,7 +119,8 @@ def compare_artifacts(
     for key in sorted(set(cand) - set(base)):
         name, metric = key
         lines.append(f"  {name}.{metric}: new metric ({cand[key]:.4g})")
-    return lines, regressions
+        warnings.append(f"{name}.{metric} missing from baseline")
+    return lines, regressions, warnings
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,7 +155,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     metrics = [m for m in args.metrics.split(",") if m]
     baseline = load_artifact(args.baseline)
     candidate = load_artifact(args.candidate)
-    lines, regressions = compare_artifacts(
+    lines, regressions, warnings = compare_artifacts(
         baseline, candidate, metrics=metrics, threshold_pct=args.threshold
     )
     print(f"baseline : {args.baseline}")
@@ -148,6 +163,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"gated metrics (*): {', '.join(metrics) or '(none)'}")
     for line in lines:
         print(line)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     if regressions:
         print(f"\nFAIL: {len(regressions)} regression(s)", file=sys.stderr)
         for reg in regressions:

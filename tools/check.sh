@@ -37,4 +37,49 @@ if [ -f benchmarks/results/BENCH_fastpath.json ]; then
         benchmarks/results/BENCH_fastpath.json > /dev/null
 fi
 
+echo "== smoke: fault study =="
+# The fault-injection study must run end to end, and the rate-0 column
+# must agree with the fault-free DES (the inertness invariant).
+python - <<'EOF'
+from repro.experiments.fault_study import run_fault_study
+
+result = run_fault_study(
+    algorithms=("hf", "phf", "ba"),
+    n_values=(8,),
+    fault_rates=(0.0, 0.2),
+    n_trials=4,
+    seed=7,
+)
+clean = [r for r in result.records if r.fault_rate == 0.0]
+assert clean, "fault study produced no rate-0 records"
+for rec in clean:
+    assert rec.recovery_wait == 0.0, rec
+    assert rec.degraded_fraction == 0.0, rec
+EOF
+
+echo "== smoke: journal truncate + resume bit-identity =="
+# Interrupt a journaled sweep (truncate the journal mid-state), resume
+# it, and require the merged result to match an uninterrupted run bit
+# for bit.
+python - <<'EOF'
+import tempfile
+from pathlib import Path
+
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import run_sweep
+
+config = StochasticConfig.paper_table1(
+    n_trials=12, n_values=(4, 8), seed=11, chunk_size=4
+)
+plain = run_sweep(config)
+with tempfile.TemporaryDirectory() as tmp:
+    journal = Path(tmp) / "sweep.jsonl"
+    run_sweep(config, journal_path=journal)
+    lines = journal.read_text().splitlines(keepends=True)
+    keep = 1 + (len(lines) - 1) // 2            # header + half the chunks
+    journal.write_text("".join(lines[:keep]) + '{"kind": "chu')  # torn tail
+    resumed = run_sweep(config, journal_path=journal, resume=True)
+assert resumed.records == plain.records, "resume is not bit-identical"
+EOF
+
 echo "== all checks passed =="
