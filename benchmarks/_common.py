@@ -18,8 +18,50 @@ from __future__ import annotations
 
 import os
 import pathlib
+import platform
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Version of the ``BENCH_*.json`` artifact layout.  Bump when the
+#: top-level shape changes (``tools/bench_compare.py`` warns when two
+#: artifacts disagree on this).  Version 1: group keys (``kernels`` /
+#: ``algorithms`` / ``entries``) of flat metric dicts, plus
+#: ``schema_version`` and a ``machine`` block from :func:`machine_meta`.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string (``/proc/cpuinfo`` on Linux)."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine()
+
+
+def machine_meta() -> dict:
+    """Machine metadata embedded in every ``BENCH_*.json`` artifact.
+
+    ``tools/bench_compare.py`` uses this block to warn when a baseline
+    and a candidate were measured on different machines (cross-machine
+    throughput diffs are not apples to apples).
+    """
+    import numpy as np
+
+    from repro.core._native import native_available
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "native_kernels": native_available(),
+    }
 
 
 def full_scale() -> bool:

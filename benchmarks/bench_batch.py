@@ -27,7 +27,14 @@ import time
 import numpy as np
 import pytest
 
-from _common import RESULTS_DIR, full_scale, run_once, write_artifact
+from _common import (
+    BENCH_SCHEMA_VERSION,
+    RESULTS_DIR,
+    full_scale,
+    machine_meta,
+    run_once,
+    write_artifact,
+)
 from repro.core._native import native_available
 from repro.core.ba import ba_final_weights
 from repro.core.bahf import bahf_final_weights
@@ -101,10 +108,12 @@ def _write_artifacts():
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "n_processors": N_PROCESSORS,
         "n_trials": N_TRIALS,
         "full_scale": full_scale(),
         "native_kernel": native_available(),
+        "machine": machine_meta(),
         "kernels": _RESULTS,
     }
     (RESULTS_DIR / "BENCH_batch.json").write_text(

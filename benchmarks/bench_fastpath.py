@@ -28,14 +28,18 @@ all 100+ would only re-measure the same event loop).
 
 import dataclasses
 import json
-import os
-import platform
 import time
 
-import numpy as np
 import pytest
 
-from _common import RESULTS_DIR, full_scale, run_once, write_artifact
+from _common import (
+    BENCH_SCHEMA_VERSION,
+    RESULTS_DIR,
+    full_scale,
+    machine_meta,
+    run_once,
+    write_artifact,
+)
 from repro.experiments.runtime_study import study_trial_metrics
 from repro.problems import UniformAlpha
 from repro.simulator import MachineConfig
@@ -51,16 +55,6 @@ CONFIG = MachineConfig()
 _RESULTS = {}
 
 
-def _machine_meta():
-    return {
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpu_count": os.cpu_count(),
-    }
-
-
 def _write_artifacts():
     """Dump BENCH_fastpath.json + a readable table after every algorithm.
 
@@ -69,12 +63,13 @@ def _write_artifacts():
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "n_processors": N_PROCESSORS,
         "n_trials": N_TRIALS,
         "seed": SEED,
         "sampler": SAMPLER.describe(),
         "full_scale": full_scale(),
-        "machine": _machine_meta(),
+        "machine": machine_meta(),
         "machine_config": dataclasses.asdict(CONFIG),
         "algorithms": _RESULTS,
     }

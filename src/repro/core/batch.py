@@ -344,6 +344,8 @@ def ba_final_weights_batch(
     initial_weight: Union[float, np.ndarray],
     n_processors: int,
     alpha_draws,
+    *,
+    method: str = "auto",
 ) -> np.ndarray:
     """Batched :func:`~repro.core.ba.ba_final_weights` (no skip threshold).
 
@@ -352,14 +354,33 @@ def ba_final_weights_batch(
     per trial, and every leaf weight is bit-identical to the scalar path.
     Returns the ``(n_trials, n_processors)`` final weights (per-row order
     unspecified).
+
+    ``method`` is ``"frontier"``, ``"native"`` or ``"auto"``.  ``"auto"``
+    prefers the compiled C recursion (see :mod:`repro.core._native`) and
+    falls back to the NumPy level-order frontier when no system compiler
+    is available; asking for ``"native"`` explicitly raises if the
+    compiled kernel is unavailable.
     """
     if n_processors < 1:
         raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    if method not in ("auto", "frontier", "native"):
+        raise ValueError(
+            f"unknown method {method!r} (use 'auto', 'frontier' or 'native')"
+        )
     draws = _as_draw_matrix(alpha_draws, n_processors - 1)
     n_trials = draws.shape[0]
     w0 = _as_initial_weights(initial_weight, n_trials)
     if n_processors == 1:
         return w0[:, None].copy()
+    if method in ("auto", "native"):
+        out = _native.ba_batch_native(w0, n_processors, draws)
+        if out is not None:
+            return out
+        if method == "native":
+            raise RuntimeError(
+                "compiled BA kernel unavailable (no system C compiler, the "
+                "build failed, or REPRO_NO_NATIVE is set)"
+            )
 
     leaf_trials: List[np.ndarray] = []
     leaf_weights: List[np.ndarray] = []
@@ -392,6 +413,7 @@ def bahf_final_weights_batch(
     *,
     alpha: float,
     lam: float = 1.0,
+    method: str = "auto",
     hf_method: str = "auto",
 ) -> np.ndarray:
     """Batched :func:`~repro.core.bahf.bahf_final_weights`.
@@ -402,15 +424,35 @@ def bahf_final_weights_batch(
     processor count and finished with :func:`hf_final_weights_batch` on
     their draw slices (``draws[t, off : off + n - 1]``, matching the
     scalar DFS consumption order).
+
+    ``method`` is ``"frontier"``, ``"native"`` or ``"auto"``.  ``"auto"``
+    prefers the compiled C kernel (which runs both phases in one pass --
+    see :mod:`repro.core._native`) and falls back to the NumPy frontier
+    when no system compiler is available; asking for ``"native"``
+    explicitly raises if the compiled kernel is unavailable.
+    ``hf_method`` selects the kernel for the NumPy path's HF sub-jobs.
     """
     if n_processors < 1:
         raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    if method not in ("auto", "frontier", "native"):
+        raise ValueError(
+            f"unknown method {method!r} (use 'auto', 'frontier' or 'native')"
+        )
     threshold = bahf_threshold(alpha, lam)
     draws = _as_draw_matrix(alpha_draws, n_processors - 1)
     n_trials = draws.shape[0]
     w0 = _as_initial_weights(initial_weight, n_trials)
     if n_processors == 1:
         return w0[:, None].copy()
+    if method in ("auto", "native"):
+        out = _native.bahf_batch_native(w0, n_processors, draws, threshold)
+        if out is not None:
+            return out
+        if method == "native":
+            raise RuntimeError(
+                "compiled BA-HF kernel unavailable (no system C compiler, the "
+                "build failed, or REPRO_NO_NATIVE is set)"
+            )
 
     leaf_trials: List[np.ndarray] = []
     leaf_weights: List[np.ndarray] = []

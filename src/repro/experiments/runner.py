@@ -20,6 +20,14 @@ resulting records are bit-identical for any worker count.
 Workers reduce their chunk to a :class:`~repro.core.metrics.RatioAccumulator`
 (a few floats) instead of shipping per-trial ratio arrays, so paper-scale
 sweeps never materialise every ratio array in the parent.
+
+With ``n_jobs > 1`` the parent also samples each cell's draw matrix
+*once* into a shared-memory block (:mod:`repro.experiments.shm`) and
+workers map their chunk's row-slice out of it, killing the ``O(chunks)``
+re-sampling the chunked design otherwise pays.  The block is pure
+transport: rows equal what each chunk would have sampled for itself, so
+results are bit-identical with or without it (budget exhaustion, platform
+refusal and ``n_jobs == 1`` all fall back to per-chunk sampling).
 """
 
 from __future__ import annotations
@@ -32,9 +40,10 @@ import numpy as np
 
 from repro.core.bounds import bound_for
 from repro.core.metrics import RatioAccumulator, RatioSample, summarize_ratios
+from repro.experiments import shm
 from repro.experiments.checkpoint import ChunkJournal, execute_chunks
 from repro.experiments.config import DEFAULT_CHUNK_RETRIES, StochasticConfig
-from repro.experiments.stochastic import trial_ratios
+from repro.experiments.stochastic import _trial_factory, trial_ratios
 from repro.problems.samplers import AlphaSampler
 
 __all__ = [
@@ -130,14 +139,23 @@ def chunk_bounds(n_trials: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 
 def _run_chunk(
-    args: Tuple[str, int, AlphaSampler, int, int, int, float]
+    args: Tuple[str, int, AlphaSampler, int, int, int, float, Optional[shm.DrawSpec]]
 ) -> Tuple[str, int, int, RatioAccumulator]:
     """Worker: one trial chunk of one (algorithm, N) cell (picklable).
 
+    ``spec`` optionally names the cell's shared-memory draw block; the
+    worker maps its ``[start:stop)`` row-slice zero-copy, and falls back
+    to sampling its own rows when the block cannot be attached (results
+    are bit-identical either way -- see :mod:`repro.experiments.shm`).
     Returns the chunk's summary accumulator, not its ratio array, so the
     parent's memory stays O(cells x chunks) regardless of n_trials.
     """
-    algorithm, n, sampler, start, stop, seed, lam = args
+    algorithm, n, sampler, start, stop, seed, lam, spec = args
+    draws = None
+    if spec is not None:
+        cell = shm.attached_draws(spec)
+        if cell is not None:
+            draws = cell[start:stop]
     ratios = trial_ratios(
         algorithm,
         n,
@@ -146,8 +164,47 @@ def _run_chunk(
         seed=seed,
         lam=lam,
         start=start,
+        draws=draws,
     )
     return algorithm, n, start, RatioAccumulator().update(ratios)
+
+
+def _publish_cell_draws(
+    cells: Sequence[Tuple[str, int]],
+    chunks: Sequence[Tuple[int, int]],
+    config: StochasticConfig,
+    completed: Dict[str, Any],
+) -> Dict[Tuple[str, int], Tuple[Any, shm.DrawSpec]]:
+    """Sample + publish one draw block per cell that still has work.
+
+    Only worth doing when chunks run in other processes; cells whose
+    chunks are all journaled, whose matrices are empty (N = 1), or that
+    would blow the :func:`repro.experiments.shm.max_bytes` budget simply
+    get no block (their chunks sample for themselves).
+    """
+    blocks: Dict[Tuple[str, int], Tuple[Any, shm.DrawSpec]] = {}
+    budget = shm.max_bytes()
+    used = 0
+    for algo, n in cells:
+        cols = max(0, n - 1)
+        if cols == 0:
+            continue
+        if all(
+            f"{algo}:{n}:{start}" in completed for start, _ in chunks
+        ):
+            continue
+        nbytes = config.n_trials * cols * 8
+        if used + nbytes > budget:
+            continue
+        factory = _trial_factory(algo, n, config.seed)
+        rngs = [factory.generator_for(t) for t in range(config.n_trials)]
+        draws = config.sampler.sample_trial_matrix(rngs, cols)
+        published = shm.publish_draws(draws)
+        if published is None:
+            continue
+        blocks[(algo, n)] = published
+        used += nbytes
+    return blocks
 
 
 def sweep_fingerprint(config: StochasticConfig) -> Dict[str, Any]:
@@ -217,11 +274,6 @@ def run_sweep(
     cells = [
         (algo, n) for algo in config.algorithms for n in config.n_values
     ]
-    tasks = [
-        (algo, n, config.sampler, start, stop, config.seed, config.lam)
-        for algo, n in cells
-        for start, stop in chunks
-    ]
     keys = [
         f"{algo}:{n}:{start}"
         for algo, n in cells
@@ -235,7 +287,29 @@ def run_sweep(
         if journal_path is not None
         else None
     )
+    blocks: Dict[Tuple[str, int], Tuple[Any, shm.DrawSpec]] = {}
     try:
+        if config.n_jobs > 1:
+            blocks = _publish_cell_draws(
+                cells,
+                chunks,
+                config,
+                journal.completed if journal is not None else {},
+            )
+        tasks = [
+            (
+                algo,
+                n,
+                config.sampler,
+                start,
+                stop,
+                config.seed,
+                config.lam,
+                blocks[(algo, n)][1] if (algo, n) in blocks else None,
+            )
+            for algo, n in cells
+            for start, stop in chunks
+        ]
         raw = execute_chunks(
             tasks,
             _run_chunk,
@@ -248,6 +322,8 @@ def run_sweep(
             retries=retries,
         )
     finally:
+        for block, _ in blocks.values():
+            shm.release_draws(block)
         if journal is not None:
             journal.close()
 

@@ -14,10 +14,12 @@ discusses.
 Two engines compute the per-trial metrics (``engine=`` knob):
 
 * ``"fastpath"`` (default) -- the closed-form batched kernels of
-  :mod:`repro.simulator.fastpath`, bit-identical to the DES (enforced by
+  :mod:`repro.simulator.fastpath` (compiled C where a system compiler
+  exists, pure NumPy otherwise), bit-identical to the DES (enforced by
   tests/test_fastpath.py) and orders of magnitude faster at large N.
-  Cells the kernels cannot express (e.g. PHF on a topology, non-central
-  PHF phase 1) fall back to the DES transparently.
+  All four algorithms run closed-form on all topologies; the one cell
+  shape the kernels cannot express (non-central PHF phase 1) falls back
+  to the DES transparently.
 * ``"des"`` -- the discrete-event simulator everywhere (the oracle).
 
 Trial ``t`` of cell ``(algorithm, N)`` derives its generator from
@@ -26,7 +28,11 @@ Trial ``t`` of cell ``(algorithm, N)`` derives its generator from
 *trial-chunked* over a ``ProcessPoolExecutor``: chunk layout and merge
 order are functions of the parameters alone, so results are bit-identical
 for any ``n_jobs`` -- and identical between the two engines wherever the
-fastpath applies.
+fastpath applies.  With ``n_jobs > 1`` the parent samples each cell's
+draw matrix once into a shared-memory block
+(:mod:`repro.experiments.shm`) and workers slice their chunk rows out of
+it -- a pure transport optimisation that cannot change results (the rows
+equal what each chunk would have sampled for itself).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments import shm
 from repro.experiments.checkpoint import ChunkJournal, execute_chunks
 from repro.experiments.config import (
     DEFAULT_CHUNK_RETRIES,
@@ -145,6 +152,7 @@ def study_trial_metrics(
     phf_phase1: str = "central",
     config: Optional[MachineConfig] = None,
     engine: str = "fastpath",
+    draws: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Machine metrics for trials ``start .. start + n_trials - 1``.
 
@@ -153,6 +161,12 @@ def study_trial_metrics(
     n_processors, t)``, so any chunking of the trial range reproduces
     the serial values exactly, and the two engines agree bit for bit on
     every cell the fastpath supports.
+
+    ``draws`` optionally supplies the trials' draw matrix (a chunk's
+    row-slice of a shared-memory block, :mod:`repro.experiments.shm`);
+    it must equal what the cell's trial factory would sample for the
+    same range.  Non-central PHF phase 1 samples lazily and cannot take
+    a prescription matrix.
     """
     key = normalize_algorithm(algorithm)
     engine = normalize_engine(engine)
@@ -162,8 +176,16 @@ def study_trial_metrics(
     n = n_processors
     alpha = sampler.alpha
     fac = _trial_factory(key, n, seed)
-    rngs = [fac.generator_for(t) for t in range(start, start + n_trials)]
-    draws = sampler.sample_trial_matrix(rngs, max(1, n - 1))
+    if draws is not None and key == "phf" and phf_phase1 != "central":
+        raise ValueError(
+            "draws= requires a central PHF phase 1 (other strategies "
+            "consume draws in a machine-dependent order)"
+        )
+    if draws is None:
+        rngs = [fac.generator_for(t) for t in range(start, start + n_trials)]
+        draws = sampler.sample_trial_matrix(rngs, max(1, n - 1))
+    elif draws.shape[0] != n_trials:
+        raise ValueError(f"draws has {draws.shape[0]} rows for {n_trials} trials")
 
     if engine == "fastpath" and fastpath_supported(key, config, phase1=phf_phase1):
         fp = fastpath_counters(
@@ -210,7 +232,13 @@ def study_trial_metrics(
 
 
 def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
-    """Worker: one trial chunk of one study cell (picklable)."""
+    """Worker: one trial chunk of one study cell (picklable).
+
+    ``spec`` optionally names the cell's shared-memory draw block (keyed
+    by the normalized algorithm and N, so cells differing only in
+    machine config share one block); attach failure falls back to
+    per-chunk sampling, bit-identically.
+    """
     (
         cell_key,
         algorithm,
@@ -223,7 +251,13 @@ def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
         phf_phase1,
         config,
         engine,
+        spec,
     ) = args
+    draws = None
+    if spec is not None:
+        cell = shm.attached_draws(spec)
+        if cell is not None:
+            draws = cell[start:stop]
     matrix = study_trial_metrics(
         algorithm,
         n,
@@ -235,6 +269,7 @@ def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
         phf_phase1=phf_phase1,
         config=config,
         engine=engine,
+        draws=draws,
     )
     return cell_key, start, matrix
 
@@ -316,11 +351,6 @@ def run_study_cells(
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     size = chunk_size if chunk_size is not None else DEFAULT_STUDY_CHUNK_SIZE
     chunks = chunk_bounds(n_trials, size)
-    tasks = [
-        (cell_key, algo, n, sampler, start, stop, seed, lam, phf_phase1, config, engine)
-        for cell_key, algo, n, config in cells
-        for start, stop in chunks
-    ]
     keys = [
         f"{cell_key!r}:{start}"
         for cell_key, _, _, _ in cells
@@ -350,7 +380,60 @@ def run_study_cells(
         if journal_path is not None
         else None
     )
+    # Draw blocks are keyed by (normalized algorithm, N): the draw
+    # matrix depends on nothing else, so cells that differ only in
+    # machine config share one block.  Lazy-sampling cells (non-central
+    # PHF phase 1) get none.
+    blocks: Dict[Tuple[str, int], Any] = {}
     try:
+        if n_jobs > 1:
+            completed = journal.completed if journal is not None else {}
+            budget = shm.max_bytes()
+            used = 0
+            for cell_key, algo, n, _config in cells:
+                akey = normalize_algorithm(algo)
+                bkey = (akey, n)
+                if bkey in blocks:
+                    continue
+                if akey == "phf" and phf_phase1 != "central":
+                    continue
+                if all(
+                    f"{cell_key!r}:{start}" in completed for start, _ in chunks
+                ):
+                    continue
+                cols = max(1, n - 1)
+                nbytes = n_trials * cols * 8
+                if used + nbytes > budget:
+                    continue
+                fac = _trial_factory(akey, n, seed)
+                rngs = [fac.generator_for(t) for t in range(n_trials)]
+                published = shm.publish_draws(
+                    sampler.sample_trial_matrix(rngs, cols)
+                )
+                if published is None:
+                    continue
+                blocks[bkey] = published
+                used += nbytes
+        tasks = [
+            (
+                cell_key,
+                algo,
+                n,
+                sampler,
+                start,
+                stop,
+                seed,
+                lam,
+                phf_phase1,
+                config,
+                engine,
+                blocks[(normalize_algorithm(algo), n)][1]
+                if (normalize_algorithm(algo), n) in blocks
+                else None,
+            )
+            for cell_key, algo, n, config in cells
+            for start, stop in chunks
+        ]
         raw = execute_chunks(
             tasks,
             _study_chunk,
@@ -363,6 +446,8 @@ def run_study_cells(
             retries=retries,
         )
     finally:
+        for block, _ in blocks.values():
+            shm.release_draws(block)
         if journal is not None:
             journal.close()
     # Journal payloads come back as plain dicts; rebuild the worker's

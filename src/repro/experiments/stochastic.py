@@ -161,6 +161,7 @@ def trial_ratios(
     lam: float = 1.0,
     start: int = 0,
     use_batch: bool = True,
+    draws: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Trial ratios for trials ``start .. start + n_trials - 1``.
 
@@ -175,6 +176,13 @@ def trial_ratios(
     multisets, orders of magnitude faster at paper scale);
     ``use_batch=False`` keeps the scalar per-trial path, retained as the
     reference implementation for equivalence tests.
+
+    ``draws`` optionally supplies the ``(n_trials, >= N-1)`` draw matrix
+    for exactly these trials (e.g. a chunk's row-slice of a cell-wide
+    shared-memory block, :mod:`repro.experiments.shm`); it must equal
+    what ``sampler.sample_trial_matrix`` would produce for the same
+    trial range, which holds whenever it was derived from the same
+    ``(seed, algorithm, n_processors)`` factory.  Batch-only.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
@@ -183,6 +191,8 @@ def trial_ratios(
     key = normalize_algorithm(algorithm)
     if n_processors < 1:
         raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    if draws is not None and not use_batch:
+        raise ValueError("draws= requires use_batch=True (the scalar path samples lazily)")
     factory = _trial_factory(algorithm, n_processors, seed)
     trials = range(start, start + n_trials)
     if not use_batch:
@@ -192,8 +202,13 @@ def trial_ratios(
             out[i] = trial_ratio(algorithm, n_processors, sampler, rng, lam=lam)
         return out
 
-    rngs = [factory.generator_for(t) for t in trials]
-    draws = sampler.sample_trial_matrix(rngs, max(0, n_processors - 1))
+    if draws is None:
+        rngs = [factory.generator_for(t) for t in trials]
+        draws = sampler.sample_trial_matrix(rngs, max(0, n_processors - 1))
+    elif draws.shape[0] != n_trials:
+        raise ValueError(
+            f"draws has {draws.shape[0]} rows for {n_trials} trials"
+        )
     if key in ("hf", "phf"):
         weights = hf_final_weights_batch(1.0, n_processors, draws)
     elif key == "ba":

@@ -34,13 +34,16 @@ __all__ = [
 ]
 
 #: Rule sets per profile.  ``relaxed`` keeps determinism-of-seeding rules
-#: (R001/R002/R006/R008) and failure-visibility (R009) but drops
-#: kernel-purity rules (R003/R004/R005/R007).
+#: (R001/R002/R006/R008), failure-visibility (R009) and resource-lifecycle
+#: (R010) but drops kernel-purity rules (R003/R004/R005/R007).
 PROFILE_RULES: Mapping[str, FrozenSet[str]] = {
     "strict": frozenset(
-        {"R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008", "R009"}
+        {
+            "R001", "R002", "R003", "R004", "R005",
+            "R006", "R007", "R008", "R009", "R010",
+        }
     ),
-    "relaxed": frozenset({"R001", "R002", "R006", "R008", "R009"}),
+    "relaxed": frozenset({"R001", "R002", "R006", "R008", "R009", "R010"}),
 }
 
 #: Longest-prefix-wins mapping of repo-relative path prefixes to profiles.

@@ -1,4 +1,4 @@
-"""The built-in rule set (R001–R008).
+"""The built-in rule set (R001–R010).
 
 Each rule machine-enforces one invariant the reproduction's correctness
 argument rests on: explicit SplitMix64-style seeding (Theorem 3's
@@ -27,6 +27,7 @@ __all__ = [
     "SetIterationRule",
     "PoolPicklableRule",
     "SwallowedExceptionRule",
+    "SharedMemoryOutsideHelperRule",
 ]
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
@@ -541,3 +542,80 @@ class SwallowedExceptionRule(Rule):
                     "catch the narrowest type the recovery handles, or "
                     "log/degrade/re-raise in the handler",
                 )
+
+
+@register
+class SharedMemoryOutsideHelperRule(Rule):
+    rule_id = "R010"
+    name = "shared-memory-outside-helper"
+    description = (
+        "multiprocessing.shared_memory may only be used inside "
+        "repro/experiments/shm.py -- everything else goes through its "
+        "publish/attach/release helpers."
+    )
+    rationale = (
+        "A SharedMemory segment is a kernel object with a manual "
+        "lifecycle: every create needs a close+unlink, every attach a "
+        "close, and POSIX resource-tracker registration differs between "
+        "owners and pool workers.  Scattering raw segments across call "
+        "sites is how /dev/shm fills up with leaked draw matrices after "
+        "a crashed sweep; repro.experiments.shm centralizes the "
+        "lifecycle (budget, naming, cached attach, atexit close) so "
+        "leaks can be reasoned about in one file."
+    )
+    bad = (
+        "from multiprocessing import shared_memory\n"
+        "block = shared_memory.SharedMemory(create=True, size=n)\n"
+    )
+    good = (
+        "from repro.experiments import shm\n"
+        "published = shm.publish_draws(draws)\n"
+    )
+
+    _BLESSED_SUFFIX = "repro/experiments/shm.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        path = ctx.path.replace("\\", "/")
+        if path.endswith(self._BLESSED_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[:2] == [
+                        "multiprocessing",
+                        "shared_memory",
+                    ]:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "direct multiprocessing.shared_memory import; "
+                            "use repro.experiments.shm helpers so the "
+                            "segment lifecycle stays centralized",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                hit = module.startswith("multiprocessing.shared_memory") or (
+                    module == "multiprocessing"
+                    and any(a.name == "shared_memory" for a in node.names)
+                )
+                if hit:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "direct multiprocessing.shared_memory import; "
+                        "use repro.experiments.shm helpers so the "
+                        "segment lifecycle stays centralized",
+                    )
+            elif isinstance(node, ast.Attribute):
+                resolved = ctx.resolve(node)
+                if resolved is not None and resolved.startswith(
+                    "multiprocessing.shared_memory."
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "direct multiprocessing.shared_memory use; "
+                        "use repro.experiments.shm helpers so the "
+                        "segment lifecycle stays centralized",
+                    )

@@ -18,11 +18,16 @@ derived from the bisection-tree structure instead of event replay:
   ``(s + t_bisect) + send_cost`` (the DES serialises the keeper behind
   the send).  BA-HF hands sub-threshold nodes to vectorised sequential
   HF-job chains grouped by size.
-* **PHF** (central phase 1, no topology) -- phase 1 proceeds in
-  generation lockstep (every active piece bisects, acquires, ships in
+* **PHF** (central phase 1) -- phase 1 proceeds in generation lockstep
+  (every active piece bisects, acquires, ships in
   ``t_bisect + t_acquire + t_send``), phase 2 is the band-peeling round
   structure of Figure 2 evaluated on dense ``(n_trials, N)`` weight /
   processor arrays with the DES's exact ``(-weight, proc)`` band order.
+  On the complete network the whole evaluation optionally runs in the
+  compiled C kernel of :mod:`repro.core._native`; on a topology, sends
+  are distance-dependent so the generations desynchronise, and a
+  per-trial event replay (a ~50-line reduction of the DES's phase-1
+  scheduler) reproduces the exact chronology instead.
 
 Bit-exactness contract: every float the DES computes is reproduced by
 elementwise operations in the same order with the same IEEE-754
@@ -41,11 +46,13 @@ instance per trial.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.core import _native
 from repro.core.batch import _as_draw_matrix, _split_level, hf_final_weights_batch
 from repro.core.phf import phf_threshold
 from repro.core.bahf import bahf_threshold
@@ -104,8 +111,8 @@ def fastpath_supported(
     """Whether :func:`fastpath_counters` can evaluate this cell.
 
     Unsupported: event recording (the fastpath produces no traces), and
-    PHF with a topology or a non-central phase-1 strategy (the on-line
-    acquisition chronology is then cost- or randomness-dependent).
+    PHF with a non-central phase-1 strategy (the on-line acquisition
+    chronology is then randomness-dependent).
     """
     key = algorithm.lower().replace("-", "").replace("_", "")
     if key not in ("hf", "phf", "ba", "bahf"):
@@ -114,7 +121,7 @@ def fastpath_supported(
     if config.record_events:
         return False
     if key == "phf":
-        return phase1 == "central" and config.topology is None
+        return phase1 == "central"
     return True
 
 
@@ -124,8 +131,8 @@ def _require_supported(
     if not fastpath_supported(algorithm, config, phase1=phase1):
         raise FastpathUnsupported(
             f"no fastpath for algorithm={algorithm!r} with this machine "
-            "config (record_events, or phf with topology/non-central "
-            "phase 1); use the DES engine"
+            "config (record_events, or phf with non-central phase 1); "
+            "use the DES engine"
         )
 
 
@@ -389,8 +396,242 @@ def fastpath_bahf(
 
 
 # ----------------------------------------------------------------------
-# PHF (central phase 1, complete network)
+# PHF (central phase 1)
 # ----------------------------------------------------------------------
+
+_PHASE1_EXHAUSTED = (
+    "phase 1 ran out of free processors: the declared alpha is "
+    "not a valid guarantee for this problem class"
+)
+
+
+def _phf_topology(
+    n: int,
+    draws: np.ndarray,
+    config: MachineConfig,
+    *,
+    alpha: float,
+    keep: str,
+    w0: float,
+) -> FastpathResult:
+    """PHF on a topology: per-trial event replay over the prescription.
+
+    Distance-dependent sends desynchronise the phase-1 generations, so
+    the lockstep sweep no longer times the run correctly -- but the
+    *instance* stays lockstep: :func:`repro.problems.prescribed.phf_draw_tree`
+    assigns draws to bisection-tree nodes in the machine-independent
+    generation order, and the DES merely walks those cached children in
+    event order.  Each trial therefore runs in two passes:
+
+    1. **prescribe** -- rebuild the node weights exactly as
+       ``phf_draw_tree`` does (lockstep phase 1, then band-peeling rounds
+       with the prescription's own processor numbering for tie-breaks);
+    2. **replay** -- re-run the event chronology of ``_phase1_central``
+       for the timing: a ``(time, seq)`` heap pops pieces FIFO at equal
+       times (ship child scheduled before keep child), every bisection
+       acquires the next central id, and every send pays
+       ``t_send + t_hop·(hops-1)``.  Phase 2 is the scalar band-peeling
+       loop on the replay's processor numbering.
+
+    All float chains follow the DES's association exactly (see the
+    module bit-exactness contract).
+    """
+    topo = config.topology(n)
+    threshold = phf_threshold(w0, alpha, n)
+    c = config.collective_cost(n)
+    t_b, t_a, t_s = config.t_bisect, config.t_acquire, config.t_send
+    t_hop = config.t_hop
+    keep_heavy = keep == "heavy"
+    n_trials = draws.shape[0]
+
+    res_time = np.empty(n_trials)
+    res_coll_t = np.empty(n_trials)
+    res_coll_n = np.empty(n_trials, dtype=np.int64)
+    res_ctrl = np.empty(n_trials, dtype=np.int64)
+    res_hops = np.empty(n_trials, dtype=np.int64)
+    res_maxw = np.empty(n_trials)
+
+    for i in range(n_trials):
+        row = draws[i]
+        # ---- pass 1: the prescription (node ids -> weights/children),
+        # mirroring phf_draw_tree's lockstep chronology exactly.
+        weight = {0: w0}
+        children = {}  # node id -> (heavy child id, light child id)
+        next_id = 1
+        idx = 0  # next draw (== acquisitions so far)
+        pieces_p = {}  # prescription proc -> node id
+        frontier = [(0, 1)]
+        while frontier:
+            nxt = []
+            for nid, proc in frontier:
+                wq = weight[nid]
+                if wq <= threshold:
+                    pieces_p[proc] = nid
+                    continue
+                if idx + 2 > n:
+                    raise SimulationError(_PHASE1_EXHAUSTED)
+                a = row[idx]
+                idx += 1
+                w2 = a * wq
+                w1 = wq - w2
+                if w1 < w2:
+                    w1, w2 = w2, w1
+                hid, lid = next_id, next_id + 1
+                next_id += 2
+                weight[hid] = w1
+                weight[lid] = w2
+                children[nid] = (hid, lid)
+                keep_id, ship_id = (hid, lid) if keep_heavy else (lid, hid)
+                dst = idx + 1  # k-th acquisition (1-based) -> P_{k+1}
+                nxt.append((ship_id, dst))
+                nxt.append((keep_id, proc))
+            frontier = nxt
+        free_p = [p for p in range(1, n + 1) if p not in pieces_p]
+        cur_p = 0
+        f = len(free_p)
+        while f > 0:
+            m = max(weight[nid] for nid in pieces_p.values())
+            band_lo = m * (1.0 - alpha)
+            band = sorted(
+                (p for p, nid in pieces_p.items() if weight[nid] >= band_lo),
+                key=lambda p: (-weight[pieces_p[p]], p),
+            )
+            h = len(band)
+            if h > f:
+                band = band[:f]
+            for p, dst in zip(band, free_p[cur_p : cur_p + len(band)]):
+                nid = pieces_p[p]
+                wq = weight[nid]
+                a = row[idx]
+                idx += 1
+                w2 = a * wq
+                w1 = wq - w2
+                if w1 < w2:
+                    w1, w2 = w2, w1
+                hid, lid = next_id, next_id + 1
+                next_id += 2
+                weight[hid] = w1
+                weight[lid] = w2
+                children[nid] = (hid, lid)
+                keep_id, ship_id = (hid, lid) if keep_heavy else (lid, hid)
+                pieces_p[p] = keep_id
+                pieces_p[dst] = ship_id
+            cur_p += len(band)
+            f -= min(h, f)
+
+        # ---- pass 2: event replay for the timing ---------------------
+        pieces = {}  # replay proc -> node id
+        acq = 0
+        hops = 0
+        span = 0.0
+        seq = 1
+        heap = [(0.0, 0, 1, 0)]
+        while heap:
+            t, _, proc, nid = heapq.heappop(heap)
+            if weight[nid] <= threshold:
+                pieces[proc] = nid
+                continue
+            dst = acq + 2  # k-th acquisition (0-based) -> processor k+2
+            if dst > n:  # pragma: no cover - prescription already checked
+                raise SimulationError(_PHASE1_EXHAUSTED)
+            acq += 1
+            hid, lid = children[nid]
+            keep_id, ship_id = (hid, lid) if keep_heavy else (lid, hid)
+            d = topo.distance(proc, dst)
+            hops += d
+            cost = t_s + t_hop * max(0, d - 1)
+            arrival = ((t + t_b) + t_a) + cost
+            if arrival > span:
+                span = arrival
+            heapq.heappush(heap, (arrival, seq, dst, ship_id))
+            seq += 1
+            heapq.heappush(heap, (arrival, seq, proc, keep_id))
+            seq += 1
+
+        # ---- (b)/(c): barrier + count/number free processors ---------
+        ct = 0.0
+        ct = ct + c
+        ct = ct + c
+        ncoll = 2
+        t = (span + c) + c
+        count = len(pieces)
+        f = n - count
+        next_free = count + 1  # central phase 1 leaves {count+1..n} free
+        nctrl = 0
+
+        # ---- phase 2: band-peeling rounds ----------------------------
+        while f > 0:
+            t = t + c  # (d) m := max weight
+            t = t + c  # (e) h := band count + numbering
+            ct = ct + c
+            ct = ct + c
+            ncoll += 2
+            m = max(weight[nid] for nid in pieces.values())
+            band_lo = m * (1.0 - alpha)
+            band = sorted(
+                (p for p, nid in pieces.items() if weight[nid] >= band_lo),
+                key=lambda p: (-weight[pieces[p]], p),
+            )
+            h = len(band)
+            if h > f:
+                t = t + c  # selection collective
+                ct = ct + c
+                ncoll += 1
+                band = band[:f]
+            finish = t
+            for proc in band:
+                nid = pieces[proc]
+                pair = children.get(nid)
+                if pair is None:
+                    # Only reachable when a truncating selection round
+                    # breaks a weight tie differently than the
+                    # prescription's processor numbering -- the DES
+                    # raises the same way (PrescribedNode._bisect_once).
+                    raise ValueError(
+                        "prescribed leaf bisected: the consuming algorithm "
+                        "deviated from the draw prescription"
+                    )
+                hid, lid = pair
+                keep_id, ship_id = (hid, lid) if keep_heavy else (lid, hid)
+                dst = next_free
+                next_free += 1
+                nctrl += 1
+                d = topo.distance(proc, dst)
+                hops += d
+                cost = t_s + t_hop * max(0, d - 1)
+                arrival = ((t + t_b) + t_a) + cost
+                pieces[proc] = keep_id
+                pieces[dst] = ship_id
+                if arrival > finish:
+                    finish = arrival
+            f -= len(band)
+            if f > 0:
+                finish = finish + c  # (h) barrier
+                ct = ct + c
+                ncoll += 1
+            t = finish
+
+        res_time[i] = t
+        res_coll_t[i] = ct
+        res_coll_n[i] = ncoll
+        res_ctrl[i] = nctrl
+        res_hops[i] = hops
+        res_maxw[i] = max(weight[nid] for nid in pieces.values())
+
+    work_total = (n - 1) * t_b
+    return FastpathResult(
+        algorithm="phf",
+        n_processors=n,
+        parallel_time=res_time,
+        n_messages=_const_int(n_trials, n - 1),
+        n_control_messages=res_ctrl,
+        n_collectives=res_coll_n,
+        collective_time=res_coll_t,
+        n_bisections=_const_int(n_trials, n - 1),
+        total_hops=res_hops,
+        utilization=_utilization(n, work_total, res_time),
+        ratio=res_maxw / (w0 / n),
+    )
 
 
 def fastpath_phf(
@@ -414,9 +655,43 @@ def fastpath_phf(
     draws = _as_draw_matrix(alpha_draws, max(0, n - 1))
     n_trials = draws.shape[0]
     w0 = float(initial_weight)
+    if config.topology is not None:
+        return _phf_topology(n, draws, config, alpha=alpha, keep=keep, w0=w0)
     threshold = phf_threshold(w0, alpha, n)
     c = config.collective_cost(n)
     t_b, t_a, t_s = config.t_bisect, config.t_acquire, config.t_send
+
+    native = _native.phf_metrics_native(
+        draws,
+        n,
+        w0=w0,
+        threshold=threshold,
+        alpha=alpha,
+        keep_heavy=keep == "heavy",
+        t_bisect=t_b,
+        t_acquire=t_a,
+        t_send=t_s,
+        collective=c,
+    )
+    if native is not None:
+        makespan, coll_time, coll_n, ctrl, maxw, status = native
+        if (status == 1).any():
+            raise SimulationError(_PHASE1_EXHAUSTED)
+        if (status != 0).any():  # pragma: no cover - internal invariant
+            raise SimulationError("phase 2 failed to converge")
+        return FastpathResult(
+            algorithm="phf",
+            n_processors=n,
+            parallel_time=makespan,
+            n_messages=_const_int(n_trials, n - 1),
+            n_control_messages=ctrl,
+            n_collectives=coll_n,
+            collective_time=coll_time,
+            n_bisections=_const_int(n_trials, n - 1),
+            total_hops=_const_int(n_trials, n - 1),
+            utilization=_utilization(n, (n - 1) * t_b, makespan),
+            ratio=maxw / (w0 / n),
+        )
 
     # ---- phase 1: generation lockstep, frontier kept trial-major in
     # event order ([ship, keep] per parent) so ranks give draw indices.
@@ -443,10 +718,7 @@ def fastpath_phf(
         draw_idx = acq[trial] + rank
         dst = draw_idx + 2  # k-th acquisition (0-based) -> processor k+2
         if (dst > n).any():
-            raise SimulationError(
-                "phase 1 ran out of free processors: the declared alpha is "
-                "not a valid guarantee for this problem class"
-            )
+            raise SimulationError(_PHASE1_EXHAUSTED)
         a = draws[trial, draw_idx]
         w2 = a * w
         w1 = w - w2

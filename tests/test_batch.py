@@ -42,6 +42,7 @@ SAMPLERS = [
 ]
 
 HF_METHODS = ["frontier", "heap"] + (["native"] if native_available() else [])
+BA_METHODS = ["frontier"] + (["native"] if native_available() else [])
 
 
 class _Stream:
@@ -89,21 +90,23 @@ class TestParity:
 
     def test_ba_matches_scalar(self, sampler, n):
         draws = _draw_matrix(sampler, n)
-        batch = ba_final_weights_batch(1.0, n, draws)
         refs = [ba_final_weights(1.0, n, _Stream(row)) for row in draws]
-        _assert_rows_match(batch, refs)
+        for method in BA_METHODS if n > 1 else ["auto"]:
+            batch = ba_final_weights_batch(1.0, n, draws, method=method)
+            _assert_rows_match(batch, refs)
 
     @pytest.mark.parametrize("lam", [0.5, 1.0, 4.0])
     def test_bahf_matches_scalar(self, sampler, n, lam):
         draws = _draw_matrix(sampler, n)
-        batch = bahf_final_weights_batch(
-            1.0, n, draws, alpha=sampler.alpha, lam=lam
-        )
         refs = [
             bahf_final_weights(1.0, n, _Stream(row), alpha=sampler.alpha, lam=lam)
             for row in draws
         ]
-        _assert_rows_match(batch, refs)
+        for method in BA_METHODS if n > 1 else ["auto"]:
+            batch = bahf_final_weights_batch(
+                1.0, n, draws, alpha=sampler.alpha, lam=lam, method=method
+            )
+            _assert_rows_match(batch, refs)
 
 
 class TestHfMethods:
@@ -140,6 +143,87 @@ class TestHfMethods:
         out = hf_final_weights_batch(1.0, 8, draws)
         refs = [hf_final_weights(1.0, 8, row) for row in draws]
         _assert_rows_match(out, refs)
+
+
+@pytest.mark.skipif(not native_available(), reason="no system C compiler")
+class TestNativeBitIdentity:
+    """The compiled kernels must match the NumPy paths bit for bit
+    (sorted rows: the multisets are equal as IEEE-754 bit patterns)."""
+
+    @pytest.mark.parametrize("n", (2, 3, 7, 64, 257))
+    def test_ba_native_equals_frontier(self, n):
+        draws = _draw_matrix(UniformAlpha(0.01, 0.5), n)
+        nat = ba_final_weights_batch(1.0, n, draws, method="native")
+        ref = ba_final_weights_batch(1.0, n, draws, method="frontier")
+        assert np.array_equal(np.sort(nat, axis=1), np.sort(ref, axis=1))
+
+    @pytest.mark.parametrize("n", (2, 3, 7, 64, 257))
+    @pytest.mark.parametrize("lam", (0.5, 1.0, 4.0))
+    def test_bahf_native_equals_frontier(self, n, lam):
+        draws = _draw_matrix(UniformAlpha(0.05, 0.5), n)
+        nat = bahf_final_weights_batch(
+            1.0, n, draws, alpha=0.05, lam=lam, method="native"
+        )
+        ref = bahf_final_weights_batch(
+            1.0, n, draws, alpha=0.05, lam=lam, method="frontier"
+        )
+        assert np.array_equal(np.sort(nat, axis=1), np.sort(ref, axis=1))
+
+    @pytest.mark.parametrize("n", (2, 3, 64, 257))
+    def test_hf_native_equals_heap(self, n):
+        draws = _draw_matrix(UniformAlpha(0.01, 0.5), n)
+        nat = hf_final_weights_batch(1.0, n, draws, method="native")
+        ref = hf_final_weights_batch(1.0, n, draws, method="heap")
+        assert np.array_equal(np.sort(nat, axis=1), np.sort(ref, axis=1))
+
+
+class TestNoCompilerFallback:
+    """With the native library forced off, every batch entry point must
+    fall back to NumPy and produce identical results."""
+
+    @pytest.fixture(autouse=True)
+    def _force_numpy(self, monkeypatch):
+        import repro.core._native as native
+
+        self._native = native
+        self._with = {}
+        if native_available():
+            draws = _draw_matrix(UniformAlpha(0.1, 0.5), 33)
+            self._with = {
+                "hf": hf_final_weights_batch(1.0, 33, draws),
+                "ba": ba_final_weights_batch(1.0, 33, draws),
+                "bahf": bahf_final_weights_batch(1.0, 33, draws, alpha=0.1),
+            }
+        monkeypatch.setattr(native, "_lib", None)
+        monkeypatch.setattr(native, "_load_attempted", True)
+
+    def test_auto_falls_back_bit_identically(self):
+        draws = _draw_matrix(UniformAlpha(0.1, 0.5), 33)
+        got = {
+            "hf": hf_final_weights_batch(1.0, 33, draws),
+            "ba": ba_final_weights_batch(1.0, 33, draws),
+            "bahf": bahf_final_weights_batch(1.0, 33, draws, alpha=0.1),
+        }
+        for key, out in got.items():
+            assert out.shape == (N_TRIALS, 33)
+            if key in self._with:
+                assert np.array_equal(
+                    np.sort(out, axis=1), np.sort(self._with[key], axis=1)
+                ), key
+
+    def test_explicit_native_raises(self):
+        draws = _draw_matrix(UniformAlpha(0.1, 0.5), 8)
+        with pytest.raises(RuntimeError, match="unavailable"):
+            ba_final_weights_batch(1.0, 8, draws, method="native")
+        with pytest.raises(RuntimeError, match="unavailable"):
+            bahf_final_weights_batch(1.0, 8, draws, alpha=0.1, method="native")
+
+    def test_unknown_method_rejected(self):
+        draws = _draw_matrix(UniformAlpha(0.1, 0.5), 8)
+        with pytest.raises(ValueError, match="unknown method"):
+            ba_final_weights_batch(1.0, 8, draws, method="wat")
+        with pytest.raises(ValueError, match="unknown method"):
+            bahf_final_weights_batch(1.0, 8, draws, alpha=0.1, method="wat")
 
 
 class TestInputValidation:

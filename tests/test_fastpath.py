@@ -159,14 +159,14 @@ def test_phf_keep_knob(keep):
 
 
 # ----------------------------------------------------------------------
-# Topologies (hf / ba / bahf; phf falls back to the DES)
+# Topologies (all four algorithms; PHF runs a per-trial event replay)
 # ----------------------------------------------------------------------
 
 
 @pytest.mark.parametrize(
     "topology, t_hop", [(RingTopology, 0.5), (Mesh2DTopology, 1.0)]
 )
-@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf"])
+@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf", "phf"])
 def test_matches_des_on_topologies(topology, t_hop, algorithm):
     config = MachineConfig(topology=topology, t_hop=t_hop)
     sampler = UniformAlpha(0.1, 0.5)
@@ -177,7 +177,7 @@ def test_matches_des_on_topologies(topology, t_hop, algorithm):
         )
 
 
-@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf"])
+@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf", "phf"])
 def test_matches_des_on_hypercube(algorithm):
     config = MachineConfig(topology=HypercubeTopology, t_hop=0.25)
     sampler = UniformAlpha(0.2, 0.5)
@@ -186,6 +186,52 @@ def test_matches_des_on_hypercube(algorithm):
         assert_cell_equivalent(
             algorithm, n, draws, alpha=sampler.alpha, config=config
         )
+
+
+@pytest.mark.parametrize("keep", ["heavy", "light"])
+def test_phf_topology_keep_and_desync(keep):
+    """Large-N topology cells where event order desynchronises from the
+    lockstep generation order -- the regime that requires the two-pass
+    (prescribe, then replay) implementation."""
+    config = MachineConfig(topology=RingTopology, t_hop=0.5)
+    sampler = UniformAlpha(0.1, 0.5)
+    for n in [35, 47, 69]:
+        draws = draw_matrix(sampler, "phf", n, n_trials=3, seed=50_000 + n)
+        assert_cell_equivalent(
+            "phf", n, draws, alpha=sampler.alpha, keep=keep, config=config
+        )
+
+
+def test_phf_topology_tie_truncation_matches_des():
+    """On topologies, a truncating selection round may break a weight tie
+    differently than the machine-independent prescription numbered the
+    processors; the DES then raises from the prescribed tree.  The
+    fastpath must agree with the DES per trial: raise exactly when it
+    raises, match bits when it does not."""
+    config = MachineConfig(
+        topology=Mesh2DTopology, t_hop=1.0, t_send=0.5, t_acquire=0.25,
+        c_collective=1.5,
+    )
+    sampler = FixedAlpha(0.3)  # every weight tied within a generation
+    n = 40
+    draws = draw_matrix(sampler, "phf", n, n_trials=6, seed=60_000)
+    outcomes = []
+    for t in range(draws.shape[0]):
+        try:
+            des_result("phf", n, draws[t], alpha=sampler.alpha, config=config)
+            des_exc = None
+        except ValueError as exc:
+            des_exc = str(exc)
+        try:
+            assert_cell_equivalent(
+                "phf", n, draws[t : t + 1], alpha=sampler.alpha, config=config
+            )
+            fp_exc = None
+        except ValueError as exc:
+            fp_exc = str(exc)
+        assert des_exc == fp_exc, (t, des_exc, fp_exc)
+        outcomes.append(des_exc is not None)
+    assert any(outcomes), "expected at least one tie-truncation raise"
 
 
 # ----------------------------------------------------------------------
@@ -197,7 +243,7 @@ def test_supported_predicate():
     assert fastpath_supported("hf")
     assert fastpath_supported("ba", MachineConfig(topology=RingTopology))
     assert fastpath_supported("phf", MachineConfig())
-    assert not fastpath_supported("phf", MachineConfig(topology=RingTopology))
+    assert fastpath_supported("phf", MachineConfig(topology=RingTopology))
     assert not fastpath_supported("phf", phase1="ba_prime")
     assert not fastpath_supported("hf", MachineConfig(record_events=True))
     with pytest.raises(ValueError):
@@ -206,10 +252,6 @@ def test_supported_predicate():
 
 def test_unsupported_cells_raise():
     draws = np.full((2, 7), 0.4)
-    with pytest.raises(FastpathUnsupported):
-        fastpath_counters(
-            "phf", 8, draws, alpha=0.4, config=MachineConfig(topology=RingTopology)
-        )
     with pytest.raises(FastpathUnsupported):
         fastpath_counters("phf", 8, draws, alpha=0.4, phase1="ba_prime")
     with pytest.raises(FastpathUnsupported):
@@ -224,6 +266,38 @@ def test_missing_alpha_raises():
         fastpath_counters("phf", 8, draws)
     with pytest.raises(ValueError, match="alpha"):
         fastpath_counters("bahf", 8, draws)
+
+
+@pytest.mark.parametrize("algorithm", ["hf", "ba", "bahf", "phf"])
+def test_no_compiler_fallback_bit_identical(algorithm, monkeypatch):
+    """With the compiled kernels forced off, every fastpath entry point
+    must fall back to NumPy with bit-identical results in all fields."""
+    import repro.core._native as native
+
+    sampler = UniformAlpha(0.1, 0.5)
+    n = 65
+    draws = draw_matrix(sampler, algorithm, n, n_trials=6, seed=777)
+    with_native = fastpath_counters(algorithm, n, draws, alpha=sampler.alpha)
+
+    monkeypatch.setattr(native, "_lib", None)
+    monkeypatch.setattr(native, "_load_attempted", True)
+    assert not native.native_available()
+    without = fastpath_counters(algorithm, n, draws, alpha=sampler.alpha)
+
+    for name in (
+        "parallel_time",
+        "n_messages",
+        "n_control_messages",
+        "n_collectives",
+        "collective_time",
+        "n_bisections",
+        "total_hops",
+        "utilization",
+        "ratio",
+    ):
+        assert np.array_equal(
+            getattr(with_native, name), getattr(without, name)
+        ), f"{algorithm}: {name} differs between native and NumPy engines"
 
 
 # ----------------------------------------------------------------------

@@ -273,6 +273,41 @@ class TestR008PoolPicklable:
         assert rules_hit(src) == []
 
 
+class TestR010SharedMemory:
+    def test_from_import_fires(self):
+        src = "from multiprocessing import shared_memory\n"
+        assert rules_hit(src) == ["R010"]
+
+    def test_submodule_from_import_fires(self):
+        src = "from multiprocessing.shared_memory import SharedMemory\n"
+        assert rules_hit(src) == ["R010"]
+
+    def test_dotted_import_fires(self):
+        src = "import multiprocessing.shared_memory\n"
+        assert rules_hit(src) == ["R010"]
+
+    def test_attribute_use_fires(self):
+        src = (
+            "import multiprocessing\n"
+            "blk = multiprocessing.shared_memory.SharedMemory(create=True, size=8)\n"
+        )
+        assert "R010" in rules_hit(src)
+
+    def test_blessed_helper_module_exempt(self):
+        src = "from multiprocessing import shared_memory\n"
+        path = "src/repro/experiments/shm.py"
+        assert rules_hit(src, path=path) == []
+
+    def test_fires_in_relaxed_profile_too(self):
+        # Driver code is exactly where ad-hoc shm use would creep in.
+        src = "from multiprocessing import shared_memory\n"
+        assert rules_hit(src, path=DRIVER_PATH, policy=LintPolicy()) == ["R010"]
+
+    def test_plain_multiprocessing_quiet(self):
+        src = "import multiprocessing\nq = multiprocessing.Queue()\n"
+        assert rules_hit(src) == []
+
+
 # ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------

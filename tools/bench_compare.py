@@ -23,18 +23,32 @@ import json
 import sys
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["compare_artifacts", "iter_metrics", "load_artifact", "main"]
+__all__ = [
+    "compare_artifacts",
+    "compatibility_warnings",
+    "iter_metrics",
+    "load_artifact",
+    "main",
+]
 
 #: Top-level keys that hold {name: {metric: value}} entry groups.
 GROUP_KEYS = ("kernels", "algorithms", "entries")
 
+#: ``machine`` block fields whose disagreement marks a cross-machine
+#: comparison (throughput numbers from different CPUs / interpreter /
+#: NumPy builds are not apples to apples).
+MACHINE_KEYS = ("cpu_model", "machine", "cpu_count", "python", "numpy")
+
 #: Metrics gated by default (all higher-is-better rates).
 DEFAULT_METRICS = (
     "speedup",
+    "trials_per_s",
     "batch_trials_per_s",
     "fastpath_trials_per_s",
     "des_trials_per_s",
     "scalar_trials_per_s",
+    "native_trials_per_s",
+    "numpy_trials_per_s",
 )
 
 
@@ -61,6 +75,41 @@ def iter_metrics(payload: Dict) -> Iterator[Tuple[str, str, float]]:
                 ):
                     continue
                 yield name, metric, float(value)
+
+
+def compatibility_warnings(baseline: Dict, candidate: Dict) -> List[str]:
+    """Non-fatal mismatches between two artifacts' provenance blocks.
+
+    Flags a differing (or missing) ``schema_version`` and any
+    :data:`MACHINE_KEYS` field that disagrees between the two
+    ``machine`` blocks -- a cross-machine throughput diff still runs,
+    but the numbers should be read as apples-to-oranges.
+    """
+    warns: List[str] = []
+    base_schema = baseline.get("schema_version")
+    cand_schema = candidate.get("schema_version")
+    if base_schema != cand_schema:
+        warns.append(
+            f"schema_version differs: baseline={base_schema!r} "
+            f"candidate={cand_schema!r} (artifact layouts may not match)"
+        )
+    base_machine = baseline.get("machine")
+    cand_machine = candidate.get("machine")
+    if not isinstance(base_machine, dict) or not isinstance(cand_machine, dict):
+        if base_machine != cand_machine:
+            warns.append(
+                "machine metadata missing from one artifact; cannot rule "
+                "out a cross-machine comparison"
+            )
+        return warns
+    for key in MACHINE_KEYS:
+        old, new = base_machine.get(key), cand_machine.get(key)
+        if old != new:
+            warns.append(
+                f"cross-machine comparison: machine.{key} differs "
+                f"(baseline={old!r}, candidate={new!r})"
+            )
+    return warns
 
 
 def compare_artifacts(
@@ -158,6 +207,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lines, regressions, warnings = compare_artifacts(
         baseline, candidate, metrics=metrics, threshold_pct=args.threshold
     )
+    warnings = compatibility_warnings(baseline, candidate) + warnings
     print(f"baseline : {args.baseline}")
     print(f"candidate: {args.candidate}")
     print(f"gated metrics (*): {', '.join(metrics) or '(none)'}")

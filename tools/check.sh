@@ -37,6 +37,11 @@ if [ -f benchmarks/results/BENCH_fastpath.json ]; then
         benchmarks/results/BENCH_fastpath.json > /dev/null
 fi
 
+echo "== perf gate: calibrated smoke bench vs committed baseline =="
+# Re-measures the four hot paths (batched HF/BA/BA-HF, PHF fastpath) at
+# N=4096 and fails when throughput drops beyond the relative threshold.
+python tools/bench_smoke.py --check --threshold "${PERF_THRESHOLD:-50}"
+
 echo "== smoke: fault study =="
 # The fault-injection study must run end to end, and the rate-0 column
 # must agree with the fault-free DES (the inertness invariant).
