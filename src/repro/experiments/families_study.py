@@ -36,6 +36,10 @@ from repro.problems import (
 )
 from repro.utils.rng import split_seed
 
+#: Fork index for the per-family alpha probe; far above any trial index
+#: so the probe's instance stream never overlaps a trial's (R102).
+_PROBE_TAG = 0x50524F4245
+
 __all__ = [
     "FAMILY_GENERATORS",
     "FamilyRecord",
@@ -125,11 +129,13 @@ def run_families_study(
     records: List[FamilyRecord] = []
     for family in names:
         gen = FAMILY_GENERATORS[family]
-        # probe alpha on one representative instance
+        # probe alpha on a dedicated instance stream: the tag keeps the
+        # probe's fork disjoint from the trial forks 0..n_instances-1
+        # below (sharing index 0 would correlate the probe with trial 0)
         alpha = max(
             1e-4,
             probe_bisector_quality(
-                gen(split_seed(seed, 0)), max_nodes=256
+                gen(split_seed(seed, _PROBE_TAG)), max_nodes=256
             ).min_alpha
             * 0.999,
         )

@@ -7,26 +7,43 @@ state in kernel paths, tolerance-based float comparison, and the
 ``0 < α ≤ 1/2`` precondition of Definition 1.  Pure stdlib (``ast``),
 works offline, no third-party dependencies.
 
+Two layers:
+
+* **per-file rules** (R001-R010) -- syntactic checks over one module;
+* **whole-program passes** (R101-R111, ``--whole-program``) -- a
+  project-wide symbol table and call graph powering cross-module seed
+  provenance (R101), double-fork detection (R102), RNG-across-pool
+  (R103), transitive pool-payload purity (R104), C <-> ctypes FFI
+  prototype checking (R110) and resource-lifecycle typestate (R111).
+
 Usage::
 
     python -m repro.lint src benchmarks examples
-    python -m repro.lint --format json src
+    python -m repro.lint --whole-program --format json src
     python -m repro.lint --list-rules
 
 or programmatically::
 
-    from repro.lint import lint_paths, load_policy
+    from repro.lint import lint_paths, lint_project_paths, load_policy
     findings = lint_paths(["src"], load_policy())
+    findings += lint_project_paths(["src"], load_policy())
 
 Per-line suppression: ``# repro-lint: disable=R004`` (comma-separate
-for several IDs, or ``disable=all``).  Path scoping (strict kernel
-profile vs relaxed driver profile) comes from ``[tool.repro-lint]`` in
-``pyproject.toml``; see :mod:`repro.lint.policy`.
+for several IDs, or ``disable=all``); on the first line of a multi-line
+statement the comment covers the statement's whole span.  Path scoping
+(strict kernel profile vs relaxed driver profile) comes from
+``[tool.repro-lint]`` in ``pyproject.toml``; see
+:mod:`repro.lint.policy`.  Results are cached in
+``.repro-lint-cache.json`` (see :mod:`repro.lint.cache`).
 """
 
 from __future__ import annotations
 
-from repro.lint import rules as _rules  # noqa: F401  (registers R001-R008)
+from repro.lint import rules as _rules  # noqa: F401  (registers R001-R010)
+from repro.lint import flow as _flow  # noqa: F401  (registers R101-R104)
+from repro.lint import ffi as _ffi  # noqa: F401  (registers R110)
+from repro.lint import typestate as _typestate  # noqa: F401  (registers R111)
+from repro.lint.cache import LintCache, rules_version
 from repro.lint.cli import main
 from repro.lint.engine import lint_file, lint_paths, lint_source
 from repro.lint.findings import Finding
@@ -35,22 +52,44 @@ from repro.lint.policy import (
     PROFILE_RULES,
     LintPolicy,
     load_policy,
+    policy_hash,
 )
-from repro.lint.registry import LintContext, Rule, all_rules, get_rule, rule_ids
+from repro.lint.project import (
+    ProjectContext,
+    build_project,
+    lint_project,
+    lint_project_paths,
+)
+from repro.lint.registry import (
+    LintContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    rule_ids,
+)
 
 __all__ = [
     "Finding",
+    "LintCache",
     "LintContext",
     "LintPolicy",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "PROFILE_RULES",
     "DEFAULT_PROFILE_PATHS",
     "all_rules",
+    "build_project",
     "get_rule",
     "rule_ids",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "lint_project_paths",
     "lint_source",
     "load_policy",
     "main",
+    "policy_hash",
+    "rules_version",
 ]

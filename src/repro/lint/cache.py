@@ -1,0 +1,170 @@
+"""Lint-result cache keyed by (file sha256, policy hash, rules version).
+
+The repo-wide pytest self-check and ``tools/check.sh`` lint the whole
+tree on every run; as the tree grows, re-parsing and re-dispatching
+every rule over unchanged files dominates the wall time.  This cache
+replays recorded findings for any file whose content hash matches,
+under the same policy and the same lint *code*:
+
+* ``rules_version`` is a digest of every source file of the lint
+  package itself, so editing a rule invalidates everything;
+* ``policy hash`` (:func:`repro.lint.policy.policy_hash`) covers
+  profile scoping, baselines and forced profiles;
+* each file entry stores the content sha256 plus its post-filter
+  findings (suppressions and baselines already applied -- they are
+  functions of the content and policy, both part of the key).
+
+Whole-program results are cached too, keyed by the combined digest of
+every file in the project (one file changes -> the project entry
+misses, which is correct: cross-module findings can move anywhere).
+
+The store is one JSON file (``.repro-lint-cache.json`` by default, in
+the working directory); a corrupt or mismatched store is silently
+discarded, never trusted.  ``--no-cache`` on the CLI bypasses it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.policy import LintPolicy, policy_hash
+
+__all__ = ["DEFAULT_CACHE_PATH", "LintCache", "rules_version"]
+
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+_FORMAT = 1
+
+_rules_version_memo: Optional[str] = None
+
+
+def rules_version() -> str:
+    """Digest of the lint package's own sources (memoized per process)."""
+    global _rules_version_memo
+    if _rules_version_memo is None:
+        package_dir = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for source in sorted(package_dir.glob("*.py")):
+            digest.update(source.name.encode("utf-8"))
+            digest.update(source.read_bytes())
+        _rules_version_memo = digest.hexdigest()[:16]
+    return _rules_version_memo
+
+
+def _finding_from_dict(data: Dict) -> Finding:
+    return Finding(
+        path=str(data["path"]),
+        line=int(data["line"]),
+        col=int(data["col"]),
+        rule=str(data["rule"]),
+        message=str(data["message"]),
+        profile=str(data.get("profile", "strict")),
+    )
+
+
+class LintCache:
+    """On-disk findings cache; see the module docstring for the key."""
+
+    def __init__(
+        self,
+        path: Path,
+        policy: LintPolicy,
+        *,
+        version: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.policy_key = policy_hash(policy)
+        self.rules_key = version if version is not None else rules_version()
+        self._files: Dict[str, Dict] = {}
+        self._project: Dict[str, List[Dict]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("format") != _FORMAT:
+            return
+        if (
+            raw.get("rules") != self.rules_key
+            or raw.get("policy") != self.policy_key
+        ):
+            return  # stale: rule code or policy changed
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = raw.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        """Write the store; I/O errors are swallowed (cache is advisory)."""
+        doc = {
+            "format": _FORMAT,
+            "rules": self.rules_key,
+            "policy": self.policy_key,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(
+                json.dumps(doc, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(self.path)
+        except OSError:
+            pass
+
+    # -- per-file entries ----------------------------------------------
+
+    @staticmethod
+    def _digest(data: bytes) -> str:
+        return hashlib.sha256(data).hexdigest()
+
+    def get_file(self, path: str, data: bytes) -> Optional[List[Finding]]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("sha256") != self._digest(data):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_dict(f) for f in entry.get("findings", [])]
+
+    def put_file(
+        self, path: str, data: bytes, findings: Sequence[Finding]
+    ) -> None:
+        self._files[path] = {
+            "sha256": self._digest(data),
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    # -- whole-program entries -----------------------------------------
+
+    @staticmethod
+    def project_digest(file_hashes: Dict[str, str]) -> str:
+        """Combined digest over every (path, sha256) pair of a project."""
+        digest = hashlib.sha256()
+        for path in sorted(file_hashes):
+            digest.update(path.encode("utf-8"))
+            digest.update(file_hashes[path].encode("utf-8"))
+        return digest.hexdigest()
+
+    def get_project(self, digest: str) -> Optional[List[Finding]]:
+        entry = self._project.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_dict(f) for f in entry]
+
+    def put_project(self, digest: str, findings: Sequence[Finding]) -> None:
+        # one digest == one exact tree state; older states are useless
+        self._project = {digest: [f.to_dict() for f in findings]}

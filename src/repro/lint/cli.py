@@ -2,7 +2,12 @@
 
 Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
 ``--format json`` emits a machine-readable document (stable key order)
-for CI consumption; ``--list-rules`` prints the rule catalog.
+for CI consumption; ``--format github`` emits ``::error`` workflow
+annotations; ``--whole-program`` adds the cross-module passes
+(R101-R111); ``--list-rules`` prints the rule catalog.
+
+Results are cached in ``.repro-lint-cache.json`` keyed by file content
+hash, policy hash and lint-code version -- ``--no-cache`` bypasses it.
 """
 
 from __future__ import annotations
@@ -13,12 +18,20 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
+from repro.lint.cache import DEFAULT_CACHE_PATH, LintCache
 from repro.lint.engine import iter_python_files, lint_paths
 from repro.lint.findings import Finding
 from repro.lint.policy import PROFILE_RULES, LintPolicy, load_policy
+from repro.lint.project import lint_project_paths
 from repro.lint.registry import all_rules
 
-__all__ = ["main", "build_parser", "render_text", "render_json"]
+__all__ = [
+    "main",
+    "build_parser",
+    "render_text",
+    "render_json",
+    "render_github",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,7 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Static analysis for determinism, seeding and numerical-safety "
-            "invariants (rules R001-R008)."
+            "invariants (per-file rules R001-R010; whole-program passes "
+            "R101-R111 with --whole-program)."
         ),
     )
     parser.add_argument(
@@ -36,9 +50,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help=(
+            "also run the cross-module passes: seed provenance, pool "
+            "purity, C<->ctypes FFI prototypes, resource lifecycle"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the lint-result cache (.repro-lint-cache.json)",
+    )
+    parser.add_argument(
+        "--cache-path",
+        type=Path,
+        default=Path(DEFAULT_CACHE_PATH),
+        metavar="FILE",
+        help=f"cache file location (default: {DEFAULT_CACHE_PATH})",
     )
     parser.add_argument(
         "--config",
@@ -90,6 +124,25 @@ def render_json(
     stream.write("\n")
 
 
+def _gh_escape(text: str) -> str:
+    """Escape data for GitHub Actions workflow-command properties."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def render_github(findings: Sequence[Finding], stream: TextIO) -> None:
+    """``::error file=...,line=...`` annotations for CI logs."""
+    for finding in findings:
+        print(
+            f"::error file={_gh_escape(finding.path)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={_gh_escape(finding.rule)}::"
+            f"{_gh_escape(finding.message)}",
+            file=stream,
+        )
+
+
 def _counts(findings: Sequence[Finding]) -> dict:
     counts: dict = {}
     for finding in findings:
@@ -99,7 +152,10 @@ def _counts(findings: Sequence[Finding]) -> dict:
 
 def _render_catalog(stream: TextIO) -> None:
     for rule_id, rule in sorted(all_rules().items()):
-        print(f"{rule_id} ({rule.name}): {rule.description}", file=stream)
+        scope = " [whole-program]" if rule.scope == "project" else ""
+        print(
+            f"{rule_id} ({rule.name}){scope}: {rule.description}", file=stream
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -119,16 +175,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache = LintCache(args.cache_path, policy)
+
     paths: List[str] = list(args.paths) or list(policy.paths)
     try:
         files = list(iter_python_files(paths))
-        findings = lint_paths(paths, policy)
+        findings = lint_paths(paths, policy, cache=cache)
+        if args.whole_program:
+            findings = sorted(
+                findings + lint_project_paths(paths, policy, cache=cache)
+            )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if cache is not None:
+        cache.save()
+
     if args.format == "json":
         render_json(findings, len(files), sys.stdout)
+    elif args.format == "github":
+        render_github(findings, sys.stdout)
     else:
         render_text(findings, sys.stdout)
     return 1 if findings else 0

@@ -16,7 +16,14 @@ from repro.lint.findings import Finding
 from repro.lint.policy import LintPolicy
 from repro.lint.registry import LintContext, Rule, all_rules
 
-__all__ = ["build_alias_map", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+__all__ = [
+    "build_alias_map",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "suppressed_lines",
+]
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
 
@@ -65,11 +72,44 @@ def _suppressed_rules(line: str) -> Optional[frozenset]:
     return ids
 
 
-def _is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
-    if not (1 <= finding.line <= len(lines)):
-        return False
-    ids = _suppressed_rules(lines[finding.line - 1])
-    if ids is None:
+def suppressed_lines(
+    lines: Sequence[str], tree: Optional[ast.Module] = None
+) -> Dict[int, frozenset]:
+    """Map line number -> rule IDs suppressed there.
+
+    A ``# repro-lint: disable=...`` comment covers its own line, and --
+    when it sits on the *first* line of a multi-line statement -- every
+    line of that statement's span: findings attributed to continuation
+    lines of a call or expression are governed by the comment where the
+    statement starts.  Nested statements (e.g. a one-line ``if`` header
+    of a long block) extend the comment over their whole span too; a
+    suppression on a compound statement's header is an explicit choice
+    to waive the rule for the block it governs.
+    """
+    out: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(lines, start=1):
+        ids = _suppressed_rules(line)
+        if ids:
+            out[lineno] = ids
+    if tree is not None and out:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = getattr(node, "lineno", None)
+            end = getattr(node, "end_lineno", None)
+            if start is None or end is None or end <= start:
+                continue
+            ids = out.get(start)
+            if not ids:
+                continue
+            for covered in range(start + 1, end + 1):
+                out[covered] = out.get(covered, frozenset()) | ids
+    return out
+
+
+def _is_suppressed(finding: Finding, smap: Dict[int, frozenset]) -> bool:
+    ids = smap.get(finding.line)
+    if not ids:
         return False
     return "ALL" in ids or finding.rule in ids
 
@@ -117,14 +157,15 @@ def lint_source(
 
     findings: List[Finding] = []
     for rule_id, rule in active.items():
-        if rule_id not in enabled:
+        if rule_id not in enabled or rule.scope != "module":
             continue
         findings.extend(rule.check(ctx))
 
+    smap = suppressed_lines(lines, tree)
     findings = [
         f
         for f in findings
-        if not _is_suppressed(f, lines) and not policy.is_baselined(f.rule, f.path)
+        if not _is_suppressed(f, smap) and not policy.is_baselined(f.rule, f.path)
     ]
     return sorted(findings)
 
@@ -156,9 +197,30 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
                 yield path
 
 
-def lint_paths(paths: Sequence[str], policy: LintPolicy) -> List[Finding]:
-    """Lint every Python file under ``paths``; sorted combined findings."""
+def lint_paths(
+    paths: Sequence[str],
+    policy: LintPolicy,
+    *,
+    cache: Optional[object] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; sorted combined findings.
+
+    ``cache`` is an optional :class:`repro.lint.cache.LintCache`: files
+    whose content hash matches a cached entry skip parsing and rule
+    dispatch entirely and replay their recorded findings.
+    """
     findings: List[Finding] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, policy))
+        data = path.read_bytes()
+        if cache is not None:
+            hit = cache.get_file(str(path), data)
+            if hit is not None:
+                findings.extend(hit)
+                continue
+        file_findings = lint_source(
+            data.decode("utf-8"), str(path), policy
+        )
+        if cache is not None:
+            cache.put_file(str(path), data, file_findings)
+        findings.extend(file_findings)
     return sorted(findings)

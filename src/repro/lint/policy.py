@@ -31,19 +31,29 @@ __all__ = [
     "DEFAULT_PROFILE_PATHS",
     "LintPolicy",
     "load_policy",
+    "policy_hash",
 ]
 
 #: Rule sets per profile.  ``relaxed`` keeps determinism-of-seeding rules
 #: (R001/R002/R006/R008), failure-visibility (R009) and resource-lifecycle
-#: (R010) but drops kernel-purity rules (R003/R004/R005/R007).
+#: (R010) but drops kernel-purity rules (R003/R004/R005/R007).  The
+#: whole-program passes (R101-R104 seed flow, R110 FFI prototypes, R111
+#: resource lifecycle) are in *both* profiles: cross-module determinism
+#: is exactly as load-bearing in driver code as in kernels.
+_PROJECT_RULES: FrozenSet[str] = frozenset(
+    {"R101", "R102", "R103", "R104", "R110", "R111"}
+)
+
 PROFILE_RULES: Mapping[str, FrozenSet[str]] = {
     "strict": frozenset(
         {
             "R001", "R002", "R003", "R004", "R005",
             "R006", "R007", "R008", "R009", "R010",
         }
-    ),
-    "relaxed": frozenset({"R001", "R002", "R006", "R008", "R009", "R010"}),
+    )
+    | _PROJECT_RULES,
+    "relaxed": frozenset({"R001", "R002", "R006", "R008", "R009", "R010"})
+    | _PROJECT_RULES,
 }
 
 #: Longest-prefix-wins mapping of repo-relative path prefixes to profiles.
@@ -106,6 +116,31 @@ class LintPolicy:
             if fnmatch.fnmatch(rel, _normalize(pattern)):
                 return True
         return False
+
+
+def policy_hash(policy: LintPolicy) -> str:
+    """Stable digest of everything in a policy that affects findings.
+
+    Used (together with the rules version) to key the lint-result cache:
+    any change to profile scoping, baselines or the forced profile must
+    invalidate cached findings.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        {
+            "profile_paths": list(policy.profile_paths),
+            "default_profile": policy.default_profile,
+            "baseline": list(policy.baseline),
+            "forced_profile": policy.forced_profile,
+            "profile_rules": {
+                name: sorted(rules) for name, rules in PROFILE_RULES.items()
+            },
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def _normalize(path: str) -> str:

@@ -15,7 +15,15 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Typ
 
 from repro.lint.findings import Finding
 
-__all__ = ["LintContext", "Rule", "register", "all_rules", "get_rule", "rule_ids"]
+__all__ = [
+    "LintContext",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+]
 
 _RULE_ID_RE = re.compile(r"^R\d{3}$")
 
@@ -65,6 +73,11 @@ class Rule:
     feeds the generated rule catalog and ``bad``/``good`` give the
     minimal failing and fixed snippets shown in docs and exercised by
     the per-rule unit tests.
+
+    ``scope`` is ``"module"`` for classic single-file rules (the
+    engine's per-file pass) and ``"project"`` for whole-program passes
+    (see :class:`ProjectRule`); the per-file engine skips project
+    rules and the project pass skips module rules.
     """
 
     rule_id: str = ""
@@ -73,6 +86,7 @@ class Rule:
     rationale: str = ""
     bad: str = ""
     good: str = ""
+    scope: str = "module"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -86,6 +100,42 @@ class Rule:
             rule=self.rule_id,
             message=message,
             profile=ctx.profile,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (R1xx).
+
+    Project rules see a :class:`repro.lint.project.ProjectContext`
+    (symbol table, call graph, companion C sources) instead of one
+    module, and implement :meth:`check_project`.  ``bad_tree`` /
+    ``good_tree`` optionally give a multi-file fixture (path -> source)
+    for rules whose minimal violation spans modules or a C/Python
+    boundary; when empty, the single-file ``bad``/``good`` snippets are
+    used as a one-module project by the catalog tests.
+    """
+
+    scope = "project"
+    #: optional multi-file fixtures: relative path -> file contents
+    bad_tree: Mapping[str, str] = {}
+    good_tree: Mapping[str, str] = {}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "object") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding pinned to ``node`` in the file at ``path``."""
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
         )
 
 

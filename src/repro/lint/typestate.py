@@ -1,0 +1,447 @@
+"""Resource-lifecycle typestate pass (R111).
+
+Tracks the two process-wide resources the sweep machinery manages by
+hand -- shared-memory draw blocks (``shm.publish_draws`` /
+``shm.release_draws``) and chunk journals (``ChunkJournal.open`` /
+``.close()``) -- through every control-flow path of each function, and
+reports acquisitions that can leak: a ``return`` or ``raise`` reached
+while the resource is still open, or a function end with no release on
+the fall-through path.
+
+The interpreter is a small abstract execution over the statement list:
+
+* state maps each tracked local variable to its acquisition node;
+* ``try``/``finally`` is modelled faithfully -- releases in a
+  ``finally`` apply to the fall-through, every early ``return`` and
+  every exception path, which is exactly why the runners put their
+  cleanup there;
+* the guard idiom ``if var is not None: var.close()`` counts as a
+  release on both branches (the ``else`` arm holds ``None``);
+* ownership transfers are respected: returning the resource, yielding
+  it, storing it into a container or attribute, or passing it to
+  another function all hand responsibility elsewhere and end tracking.
+
+Everything not recognised is not tracked -- like every project pass,
+silence is the conservative direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import FunctionInfo, ModuleInfo, ProjectContext
+from repro.lint.registry import ProjectRule, register
+
+__all__ = ["ResourceLifecycleRule"]
+
+#: dotted-path suffixes whose call acquires a tracked resource,
+#: mapped to a human label used in messages.
+_ACQUIRE_SUFFIXES = {
+    "publish_draws": "shared-memory draw block",
+    "ChunkJournal.open": "chunk journal",
+}
+
+#: function-call releases: suffix of the resolved callee taking the
+#: resource as first argument.
+_RELEASE_FUNC_SUFFIXES = ("release_draws",)
+
+#: method-call releases on the resource variable itself.
+_RELEASE_METHODS = frozenset({"close", "release", "unlink"})
+
+
+def _call_suffix_label(dotted: Optional[str]) -> Optional[str]:
+    if dotted is None:
+        return None
+    for suffix, label in _ACQUIRE_SUFFIXES.items():
+        if dotted == suffix or dotted.endswith("." + suffix):
+            return label
+    return None
+
+
+def _acquire_label(module: ModuleInfo, value: ast.expr) -> Optional[str]:
+    """Label when ``value`` acquires a resource (directly or via IfExp)."""
+    if isinstance(value, ast.Call):
+        return _call_suffix_label(module.resolve(value.func))
+    if isinstance(value, ast.IfExp):
+        return _acquire_label(module, value.body) or _acquire_label(
+            module, value.orelse
+        )
+    return None
+
+
+@dataclass
+class _Leak:
+    var: str
+    acquire: ast.AST
+    label: str
+    exit_desc: str
+    exit_line: int
+
+
+@dataclass
+class _Outcome:
+    """Result of interpreting a statement list.
+
+    ``fall`` is the open-variable state on the fall-through edge
+    (``None`` when the block cannot fall through), ``exits`` the states
+    captured at each ``return``/``raise`` -- kept *pending* rather than
+    reported so an enclosing ``finally`` can still release them.
+    """
+
+    fall: Optional[Dict[str, Tuple[ast.AST, str]]]
+    exits: List[Tuple[ast.AST, str, Dict[str, Tuple[ast.AST, str]]]] = field(
+        default_factory=list
+    )
+
+
+def _names_in(expr: Optional[ast.AST]) -> Set[str]:
+    if expr is None:
+        return set()
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+class _FunctionInterp:
+    """Abstract interpreter for one function body."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.escaped: Set[str] = set()
+
+    # -- helpers -------------------------------------------------------
+
+    def _release_targets(self, call: ast.Call) -> Set[str]:
+        """Variables a call releases."""
+        out: Set[str] = set()
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _RELEASE_METHODS and isinstance(
+                func.value, ast.Name
+            ):
+                out.add(func.value.id)
+        dotted = self.module.resolve(func)
+        if dotted is not None and dotted.rpartition(".")[2] in (
+            _RELEASE_FUNC_SUFFIXES
+        ):
+            for arg in call.args[:1]:
+                if isinstance(arg, ast.Name):
+                    out.add(arg.id)
+        return out
+
+    def _escapes_in(self, expr: ast.AST, state: Dict) -> Set[str]:
+        """Open variables handed off by evaluating ``expr``."""
+        out: Set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                released = self._release_targets(node)
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for name in _names_in(arg):
+                        if name in state and name not in released:
+                            out.add(name)
+        return out
+
+    def _apply_expr(self, expr: ast.AST, state: Dict) -> None:
+        """Releases and call-escapes triggered by evaluating ``expr``."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                for name in self._release_targets(node):
+                    state.pop(name, None)
+        for name in self._escapes_in(expr, state):
+            self.escaped.add(name)
+            state.pop(name, None)
+
+    # -- statement interpretation -------------------------------------
+
+    def run(self, stmts: List[ast.stmt], state: Dict) -> _Outcome:
+        current: Optional[Dict] = dict(state)
+        exits: List = []
+        for stmt in stmts:
+            if current is None:
+                break
+            outcome = self.step(stmt, current)
+            exits.extend(outcome.exits)
+            current = outcome.fall
+        return _Outcome(fall=current, exits=exits)
+
+    def step(self, stmt: ast.stmt, state: Dict) -> _Outcome:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return _Outcome(fall=state)
+
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                self._apply_expr(value, state)
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            label = (
+                _acquire_label(self.module, value)
+                if value is not None
+                else None
+            )
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    # storing an open resource escapes it
+                    if value is not None:
+                        for name in _names_in(value):
+                            if name in state:
+                                self.escaped.add(name)
+                                state.pop(name, None)
+                elif isinstance(target, ast.Name):
+                    if label is not None and value is not None:
+                        state[target.id] = (value, label)
+                    else:
+                        state.pop(target.id, None)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    # unpacking a tracked resource (`block, spec = out`)
+                    # hands ownership to the parts; stop tracking.
+                    if value is not None:
+                        for name in _names_in(value):
+                            if name in state:
+                                self.escaped.add(name)
+                                state.pop(name, None)
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            state.pop(elt.id, None)
+            return _Outcome(fall=state)
+
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+                inner = getattr(stmt.value, "value", None)
+                if inner is not None:
+                    for name in _names_in(inner):
+                        if name in state:
+                            self.escaped.add(name)
+                            state.pop(name, None)
+                return _Outcome(fall=state)
+            self._apply_expr(stmt.value, state)
+            return _Outcome(fall=state)
+
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._apply_expr(stmt.value, state)
+                for name in _names_in(stmt.value):
+                    if name in state:
+                        self.escaped.add(name)
+                        state.pop(name, None)
+            return _Outcome(fall=None, exits=[(stmt, "return", dict(state))])
+
+        if isinstance(stmt, ast.Raise):
+            return _Outcome(fall=None, exits=[(stmt, "raise", dict(state))])
+
+        if isinstance(stmt, ast.If):
+            self._apply_expr(stmt.test, state)
+            true_out = self.run(stmt.body, state)
+            false_out = self.run(stmt.orelse, state)
+            exits = true_out.exits + false_out.exits
+            fall = self._merge_branches(
+                state, stmt.test, true_out.fall, false_out.fall
+            )
+            return _Outcome(fall=fall, exits=exits)
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._apply_expr(stmt.iter, state)
+            body_out = self.run(stmt.body, state)
+            else_out = self.run(stmt.orelse, state)
+            fall = dict(state)
+            for out in (body_out, else_out):
+                if out.fall is not None:
+                    fall.update(out.fall)
+            return _Outcome(
+                fall=fall, exits=body_out.exits + else_out.exits
+            )
+
+        if isinstance(stmt, ast.While):
+            self._apply_expr(stmt.test, state)
+            body_out = self.run(stmt.body, state)
+            else_out = self.run(stmt.orelse, state)
+            fall = dict(state)
+            for out in (body_out, else_out):
+                if out.fall is not None:
+                    fall.update(out.fall)
+            return _Outcome(
+                fall=fall, exits=body_out.exits + else_out.exits
+            )
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._apply_expr(item.context_expr, state)
+            return self.run(stmt.body, state)
+
+        if isinstance(stmt, ast.Try):
+            body_out = self.run(stmt.body, state)
+            entry_or_body = dict(state)
+            if body_out.fall is not None:
+                entry_or_body.update(body_out.fall)
+            handler_outs = [
+                self.run(handler.body, entry_or_body)
+                for handler in stmt.handlers
+            ]
+            else_out = (
+                self.run(stmt.orelse, body_out.fall)
+                if body_out.fall is not None and stmt.orelse
+                else _Outcome(fall=body_out.fall)
+            )
+
+            pending = list(body_out.exits) + list(else_out.exits)
+            for out in handler_outs:
+                pending.extend(out.exits)
+
+            falls = [
+                out.fall
+                for out in (else_out, *handler_outs)
+                if out.fall is not None
+            ]
+            if not stmt.handlers and body_out.fall is not None and not stmt.orelse:
+                falls.append(body_out.fall)
+
+            if not stmt.finalbody:
+                fall: Optional[Dict] = None
+                if falls:
+                    fall = {}
+                    for candidate in falls:
+                        fall.update(candidate)
+                return _Outcome(fall=fall, exits=pending)
+
+            # finally runs on every outcome: filter each captured state
+            # through the final block before letting it propagate.
+            filtered_exits: List = []
+            final_exits: List = []
+            for node, desc, exit_state in pending:
+                fin = self.run(stmt.finalbody, exit_state)
+                final_exits.extend(fin.exits)
+                if fin.fall is not None:
+                    filtered_exits.append((node, desc, fin.fall))
+            fall = None
+            if falls:
+                merged: Dict = {}
+                for candidate in falls:
+                    merged.update(candidate)
+                fin = self.run(stmt.finalbody, merged)
+                final_exits.extend(fin.exits)
+                fall = fin.fall
+            else:
+                # still execute finally once for its own leaks/acquires
+                fin = self.run(stmt.finalbody, dict(state))
+                final_exits.extend(fin.exits)
+            return _Outcome(fall=fall, exits=filtered_exits + final_exits)
+
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Pass)):
+            return _Outcome(fall=state)
+
+        if isinstance(stmt, (ast.Delete, ast.Assert, ast.Global, ast.Nonlocal)):
+            return _Outcome(fall=state)
+
+        return _Outcome(fall=state)
+
+    def _merge_branches(
+        self,
+        before: Dict,
+        test: ast.expr,
+        true_fall: Optional[Dict],
+        false_fall: Optional[Dict],
+    ) -> Optional[Dict]:
+        if true_fall is None and false_fall is None:
+            return None
+        if true_fall is None:
+            return false_fall
+        if false_fall is None:
+            return true_fall
+        merged = dict(true_fall)
+        merged.update({k: v for k, v in false_fall.items() if k not in merged})
+        # guard idiom: `if var is not None: var.close()` -- the branch
+        # that still holds `var` is the one where it was None.
+        test_names = _names_in(test)
+        for var in list(merged):
+            released_true = var in before and var not in true_fall
+            released_false = var in before and var not in false_fall
+            if (released_true or released_false) and var in test_names:
+                merged.pop(var, None)
+        return merged
+
+
+@register
+class ResourceLifecycleRule(ProjectRule):
+    rule_id = "R111"
+    name = "resource-lifecycle"
+    description = (
+        "a shared-memory block from publish_draws and a journal from "
+        "ChunkJournal.open must be released/closed (or handed off) on "
+        "every control-flow path of the function that acquired them -- "
+        "early returns and exception paths included."
+    )
+    rationale = (
+        "A published shm block that misses its release on one error "
+        "path leaks /dev/shm until reboot; a journal that skips close "
+        "loses its tail on crash and breaks the resume contract.  The "
+        "runners pair acquire with release in try/finally precisely so "
+        "every path is covered -- this pass checks that shape holds as "
+        "code grows, modelling finally, the `if var is not None` guard, "
+        "and ownership hand-offs (return / store / pass-along) so the "
+        "existing drivers lint clean without waivers."
+    )
+    bad = (
+        "from repro.experiments import shm\n"
+        "def run(draws, fail):\n"
+        "    block = shm.publish_draws(draws)\n"
+        "    if fail:\n"
+        "        return None\n"
+        "    shm.release_draws(block)\n"
+        "    return True\n"
+    )
+    good = (
+        "from repro.experiments import shm\n"
+        "def run(draws, fail):\n"
+        "    block = shm.publish_draws(draws)\n"
+        "    try:\n"
+        "        if fail:\n"
+        "            return None\n"
+        "        return True\n"
+        "    finally:\n"
+        "        shm.release_draws(block)\n"
+    )
+
+    def _check_function(
+        self, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        body = getattr(fn.node, "body", None)
+        if not body:
+            return
+        interp = _FunctionInterp(fn.module)
+        outcome = interp.run(body, {})
+        leaks: Dict[str, _Leak] = {}
+        if outcome.fall:
+            for var, (node, label) in outcome.fall.items():
+                if var not in interp.escaped:
+                    leaks.setdefault(
+                        var,
+                        _Leak(var, node, label, "function end", 0),
+                    )
+        for exit_node, desc, exit_state in outcome.exits:
+            for var, (node, label) in exit_state.items():
+                if var in interp.escaped or var in leaks:
+                    continue
+                leaks[var] = _Leak(
+                    var, node, label, desc, getattr(exit_node, "lineno", 0)
+                )
+        for leak in leaks.values():
+            where = (
+                f"the {leak.exit_desc} at line {leak.exit_line}"
+                if leak.exit_line
+                else "the end of the function"
+            )
+            yield self.project_finding(
+                fn.module.path,
+                leak.acquire,
+                f"{leak.label} `{leak.var}` acquired here is still open "
+                f"at {where} in `{fn.qualname}`; release it in a "
+                "try/finally (or hand ownership off explicitly)",
+            )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for fn in project.functions.values():
+            yield from self._check_function(fn)

@@ -1,26 +1,36 @@
 """Tests for the repro.lint static-analysis subsystem.
 
 Covers: each rule firing on a minimal bad snippet and staying quiet on
-the fixed version, per-line suppression comments, the JSON output
-format, strict-vs-relaxed path scoping, pyproject config loading, the
-CLI exit codes -- and the repo-wide self-check that gates the tree.
+the fixed version, the whole-program passes (R101-R111) over planted
+fixture trees, suppression comments (including multi-line statement
+span scoping), the result cache, the JSON/github output formats,
+strict-vs-relaxed path scoping, pyproject config loading, the CLI exit
+codes -- and the repo-wide self-check that gates the tree.
 """
 
 import json
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.lint import (
     Finding,
+    LintCache,
     LintPolicy,
+    ProjectRule,
     all_rules,
+    build_project,
     lint_paths,
+    lint_project,
+    lint_project_paths,
     lint_source,
     load_policy,
     main,
+    policy_hash,
     rule_ids,
 )
+from repro.lint.ffi import parse_c_exports, parse_ctypes_decls
 from repro.lint.policy import DEFAULT_PROFILE_PATHS, PROFILE_RULES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -37,14 +47,25 @@ def rules_hit(source, path=CORE_PATH, policy=STRICT):
     return sorted({f.rule for f in lint_source(source, path, policy)})
 
 
+def project_findings(files, policy=STRICT):
+    """Run the whole-program passes over an in-memory fixture tree."""
+    py = {p: s for p, s in files.items() if p.endswith(".py")}
+    c = {p: s for p, s in files.items() if p.endswith(".c")}
+    return lint_project(build_project(py, c), policy)
+
+
+def project_rules_hit(files, policy=STRICT):
+    return sorted({f.rule for f in project_findings(files, policy)})
+
+
 # ----------------------------------------------------------------------
 # Rule catalog basics
 # ----------------------------------------------------------------------
 
 
 class TestCatalog:
-    def test_at_least_eight_rules_registered(self):
-        assert len(all_rules()) >= 8
+    def test_at_least_sixteen_rules_registered(self):
+        assert len(all_rules()) >= 16
         assert rule_ids() == sorted(all_rules())
 
     def test_every_rule_documents_itself(self):
@@ -53,11 +74,28 @@ class TestCatalog:
             for attr in ("name", "description", "rationale", "bad", "good"):
                 assert getattr(rule, attr), f"{rule_id} missing {attr}"
 
+    @staticmethod
+    def _fixture_tree(rule, which):
+        """Fixture tree for a project rule: multi-file if provided."""
+        tree = getattr(rule, f"{which}_tree")
+        if tree:
+            return dict(tree)
+        return {"pkg/mod.py": getattr(rule, which)}
+
     def test_catalog_bad_snippets_fire_and_good_snippets_are_quiet(self):
         """The docs' own examples are kept honest by the test suite."""
         for rule_id, rule in all_rules().items():
-            assert rule_id in rules_hit(rule.bad), f"{rule_id}.bad must fire"
-            assert rules_hit(rule.good) == [], f"{rule_id}.good must be clean"
+            if isinstance(rule, ProjectRule):
+                bad_hits = project_rules_hit(self._fixture_tree(rule, "bad"))
+                assert rule_id in bad_hits, f"{rule_id}.bad must fire"
+                good = project_findings(self._fixture_tree(rule, "good"))
+                assert good == [], (
+                    f"{rule_id}.good must be clean:\n"
+                    + "\n".join(f.render() for f in good)
+                )
+            else:
+                assert rule_id in rules_hit(rule.bad), f"{rule_id}.bad must fire"
+                assert rules_hit(rule.good) == [], f"{rule_id}.good must be clean"
 
 
 # ----------------------------------------------------------------------
@@ -309,6 +347,441 @@ class TestR010SharedMemory:
 
 
 # ----------------------------------------------------------------------
+# Whole-program passes (R101-R111) on planted fixture trees
+# ----------------------------------------------------------------------
+
+
+class TestR101SeedProvenance:
+    def test_cross_module_underivable_seed_flagged_at_call_site(self):
+        files = {
+            "src/pkg/maker.py": (
+                "import numpy as np\n"
+                "def make_rng(seed):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+            "src/pkg/driver.py": (
+                "import time\n"
+                "from pkg.maker import make_rng\n"
+                "def run():\n"
+                "    return make_rng(time.time_ns())\n"
+            ),
+        }
+        findings = [
+            f for f in project_findings(files) if f.rule == "R101"
+        ]
+        assert findings, "cross-module wall-clock seed must be flagged"
+        assert findings[0].path == "src/pkg/driver.py"
+        assert findings[0].line == 4
+
+    def test_hash_seed_flagged(self):
+        files = {
+            "src/pkg/mod.py": (
+                "import numpy as np\n"
+                "def run(key):\n"
+                "    return np.random.default_rng(hash(key))\n"
+            )
+        }
+        assert "R101" in project_rules_hit(files)
+
+    def test_split_seed_provenance_is_quiet(self):
+        files = {
+            "src/pkg/mod.py": (
+                "import numpy as np\n"
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed):\n"
+                "    return np.random.default_rng(split_seed(seed, 3))\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+    def test_unknown_expressions_stay_silent(self):
+        # conservative: opaque seeds are not findings
+        files = {
+            "src/pkg/mod.py": (
+                "import numpy as np\n"
+                "def run(cfg):\n"
+                "    return np.random.default_rng(cfg.seed)\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+
+class TestR102DoubleFork:
+    def test_textually_identical_forks_fire(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed):\n"
+                "    a = split_seed(seed, 1)\n"
+                "    b = split_seed(seed, 1)\n"
+                "    return a, b\n"
+            )
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R102"]
+        assert [f.line for f in findings] == [4]
+
+    def test_probe_overlapping_trial_loop_fires(self):
+        # the families_study shape: constant index inside a range loop
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed, n):\n"
+                "    probe = split_seed(seed, 0)\n"
+                "    return [split_seed(seed, t) for t in range(n)]\n"
+            )
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R102"]
+        assert [f.line for f in findings] == [3]
+
+    def test_large_tag_constant_is_quiet(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "TAG = 0x50524F42\n"
+                "def run(seed, n):\n"
+                "    probe = split_seed(seed, TAG)\n"
+                "    return [split_seed(seed, t) for t in range(n)]\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+    def test_distinct_bases_are_quiet(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed, n):\n"
+                "    probe = split_seed(seed + 1, 0)\n"
+                "    return [split_seed(seed, t) for t in range(n)]\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+
+class TestR103RngAcrossPool:
+    FILES = {
+        "src/pkg/mod.py": (
+            "import numpy as np\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(rng):\n"
+            "    return rng.random()\n"
+            "def run():\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(work, rng).result()\n"
+        )
+    }
+
+    def test_generator_variable_as_task_arg_fires(self):
+        findings = [
+            f for f in project_findings(self.FILES) if f.rule == "R103"
+        ]
+        assert [f.line for f in findings] == [8]
+
+    def test_inline_generator_construction_fires(self):
+        files = {
+            "src/pkg/mod.py": (
+                "import numpy as np\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def work(rng):\n"
+                "    return rng.random()\n"
+                "def run():\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return pool.submit(work, np.random.default_rng(1))\n"
+            )
+        }
+        assert "R103" in project_rules_hit(files)
+
+    def test_passing_plain_seed_is_quiet(self):
+        files = {
+            "src/pkg/mod.py": (
+                "import numpy as np\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def work(seed):\n"
+                "    return np.random.default_rng(seed).random()\n"
+                "def run():\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return pool.submit(work, 7).result()\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+
+class TestR104PoolPayloadPurity:
+    def test_transitive_wall_clock_attributed_at_impure_line(self):
+        files = {
+            "src/pkg/helpers.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "src/pkg/work.py": (
+                "from pkg.helpers import stamp\n"
+                "def chunk(task):\n"
+                "    return stamp() + task\n"
+            ),
+            "src/pkg/driver.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "from pkg.work import chunk\n"
+                "def run(tasks):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return [pool.submit(chunk, t).result() for t in tasks]\n"
+            ),
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R104"]
+        assert len(findings) == 1
+        assert findings[0].path == "src/pkg/helpers.py"
+        assert findings[0].line == 3
+        assert "chunk" in findings[0].message  # payload chain named
+
+    def test_broker_indirection_is_expanded(self):
+        # a function forwarding its own parameter to pool.submit makes
+        # its callers' arguments payload roots (the execute_chunks shape)
+        files = {
+            "src/pkg/broker.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def execute(tasks, worker):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return [pool.submit(worker, t).result() for t in tasks]\n"
+            ),
+            "src/pkg/study.py": (
+                "import time\n"
+                "from pkg.broker import execute\n"
+                "def impure_chunk(task):\n"
+                "    return time.time() + task\n"
+                "def run(tasks):\n"
+                "    return execute(tasks, impure_chunk)\n"
+            ),
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R104"]
+        assert [f.path for f in findings] == ["src/pkg/study.py"]
+        assert [f.line for f in findings] == [4]
+
+    def test_module_global_write_fires(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "CACHE = {}\n"
+                "def chunk(task):\n"
+                "    CACHE[task] = task\n"
+                "    return task\n"
+                "def run(tasks):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return [pool.submit(chunk, t).result() for t in tasks]\n"
+            )
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R104"]
+        assert [f.line for f in findings] == [4]
+
+    def test_pure_payload_is_quiet(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def chunk(task):\n"
+                "    local = {}\n"
+                "    local[task] = task\n"
+                "    return local\n"
+                "def run(tasks):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return [pool.submit(chunk, t).result() for t in tasks]\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+
+class TestR110FfiPrototype:
+    BAD = dict(all_rules()["R110"].bad_tree)
+
+    def test_planted_mismatch_fixture_reports_every_class(self):
+        findings = [
+            f for f in project_findings(self.BAD) if f.rule == "R110"
+        ]
+        text = "\n".join(f.render() for f in findings)
+        # width mismatch: c_int declared where C takes long
+        assert "argument 1 of `demo_add`" in text
+        # arity mismatch
+        assert "demo_scale` declares 2 argtypes" in text
+        # ghost declaration: no such C export
+        assert "demo_ghost" in text
+        # undeclared export, attributed to the C file
+        orphan = [f for f in findings if "demo_orphan" in f.message]
+        assert [f.path for f in orphan] == ["pkg/kern.c"]
+        assert orphan[0].line == 12
+
+    def test_static_functions_are_not_exports(self):
+        findings = project_findings(self.BAD)
+        assert not any("demo_helper" in f.message for f in findings)
+
+    def test_pointer_mismatch_fires(self):
+        files = {
+            "pkg/kern.c": "int f(double *x)\n{\n    return 0;\n}\n",
+            "pkg/native.py": (
+                "import ctypes\n"
+                "def declare(lib):\n"
+                "    lib.f.restype = ctypes.c_int\n"
+                "    lib.f.argtypes = [ctypes.c_double]\n"
+            ),
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R110"]
+        assert len(findings) == 1
+        assert "pointer-ness" in findings[0].message
+
+    def test_restype_mismatch_fires(self):
+        files = {
+            "pkg/kern.c": "void f(long n)\n{\n    (void)n;\n}\n",
+            "pkg/native.py": (
+                "import ctypes\n"
+                "def declare(lib):\n"
+                "    lib.f.restype = ctypes.c_int\n"
+                "    lib.f.argtypes = [ctypes.c_long]\n"
+            ),
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R110"]
+        assert len(findings) == 1
+        assert "restype" in findings[0].message
+
+    def test_real_kernels_exports_fully_covered(self):
+        """100%% coverage of _kernels.c symbols by _native.py declarations."""
+        c_source = (REPO_ROOT / "src/repro/core/_kernels.c").read_text()
+        exports = {d.name for d in parse_c_exports(c_source)}
+        assert exports == {
+            "repro_hf_batch",
+            "repro_ba_batch",
+            "repro_bahf_batch",
+            "repro_phf_metrics",
+        }
+        native = REPO_ROOT / "src/repro/core/_native.py"
+        project = build_project({str(native): native.read_text()})
+        decls = parse_ctypes_decls(project.modules[str(native)])
+        assert set(decls) == exports
+        for decl in decls.values():
+            assert decl.restype is not None
+            assert decl.argtypes is not None
+            assert all(t is not None for t in decl.argtypes)
+
+
+class TestR111ResourceLifecycle:
+    def test_early_return_leak_fires_at_acquire_line(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.experiments import shm\n"
+                "def run(draws, fail):\n"
+                "    block = shm.publish_draws(draws)\n"
+                "    if fail:\n"
+                "        return None\n"
+                "    shm.release_draws(block)\n"
+                "    return True\n"
+            )
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R111"]
+        assert [f.line for f in findings] == [3]
+        assert "return" in findings[0].message
+
+    def test_missing_release_on_fallthrough_fires(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.experiments.checkpoint import ChunkJournal\n"
+                "def run(path):\n"
+                "    journal = ChunkJournal.open(path)\n"
+                "    journal.append('k', 1)\n"
+            )
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R111"]
+        assert [f.line for f in findings] == [3]
+
+    def test_try_finally_with_guard_idiom_is_quiet(self):
+        # the exact shape of the sweep runners
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.experiments.checkpoint import ChunkJournal\n"
+                "def run(path, work):\n"
+                "    journal = ChunkJournal.open(path) if path else None\n"
+                "    try:\n"
+                "        if not work:\n"
+                "            return None\n"
+                "        return work()\n"
+                "    finally:\n"
+                "        if journal is not None:\n"
+                "            journal.close()\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+    def test_ownership_handoff_is_quiet(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.experiments import shm\n"
+                "def publish_all(cells, draws):\n"
+                "    blocks = {}\n"
+                "    for cell in cells:\n"
+                "        published = shm.publish_draws(draws[cell])\n"
+                "        if published is None:\n"
+                "            continue\n"
+                "        blocks[cell] = published\n"
+                "    return blocks\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+    def test_raise_between_open_and_close_fires(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.experiments.checkpoint import ChunkJournal\n"
+                "def run(path, n):\n"
+                "    journal = ChunkJournal.open(path)\n"
+                "    if n < 0:\n"
+                "        raise ValueError(n)\n"
+                "    journal.close()\n"
+            )
+        }
+        findings = [f for f in project_findings(files) if f.rule == "R111"]
+        assert [f.line for f in findings] == [3]
+        assert "raise" in findings[0].message
+
+
+class TestProjectPassMachinery:
+    def test_project_findings_respect_suppression_comments(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed):\n"
+                "    a = split_seed(seed, 1)\n"
+                "    b = split_seed(seed, 1)  # repro-lint: disable=R102\n"
+                "    return a, b\n"
+            )
+        }
+        assert project_rules_hit(files) == []
+
+    def test_project_findings_respect_profile_scoping(self):
+        # a custom policy that disables nothing still routes through
+        # rules_for(); forcing an unknown-ish path keeps R1xx active in
+        # both profiles by design
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed):\n"
+                "    a = split_seed(seed, 1)\n"
+                "    b = split_seed(seed, 1)\n"
+                "    return a, b\n"
+            )
+        }
+        relaxed = LintPolicy(forced_profile="relaxed")
+        assert "R102" in project_rules_hit(files, relaxed)
+
+    def test_syntax_error_modules_are_skipped_not_fatal(self):
+        files = {
+            "src/pkg/broken.py": "def oops(:\n",
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed):\n"
+                "    a = split_seed(seed, 1)\n"
+                "    b = split_seed(seed, 1)\n"
+                "    return a, b\n"
+            ),
+        }
+        assert "R102" in project_rules_hit(files)
+
+
+# ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
 
@@ -340,6 +813,64 @@ class TestSuppressions:
         )
         findings = lint_source(src, CORE_PATH, STRICT)
         assert [f.line for f in findings] == [2]
+
+
+class TestSuppressionSpan:
+    def test_first_line_comment_covers_continuation_lines(self):
+        # the finding anchors on line 2; the comment sits on line 1
+        src = (
+            "ok = (  # repro-lint: disable=R004\n"
+            "    x == 1.0\n"
+            ")\n"
+        )
+        assert rules_hit(src) == []
+
+    def test_multiline_call_argument_covered(self):
+        src = (
+            "import time\n"
+            "out = process(  # repro-lint: disable=R003\n"
+            "    time.time(),\n"
+            "    1,\n"
+            ")\n"
+        )
+        assert rules_hit(src) == []
+
+    def test_sibling_statement_after_span_still_fires(self):
+        src = (
+            "ok = (  # repro-lint: disable=R004\n"
+            "    x == 1.0\n"
+            ")\n"
+            "bad = y == 2.0\n"
+        )
+        findings = lint_source(src, CORE_PATH, STRICT)
+        assert [f.line for f in findings] == [4]
+
+    def test_comment_on_continuation_line_does_not_govern_span(self):
+        # only the *first* line of the statement scopes the whole span;
+        # a comment further down covers its own line alone
+        src = (
+            "import time\n"
+            "out = process(\n"
+            "    1,  # repro-lint: disable=R003\n"
+            "    time.time(),\n"
+            ")\n"
+        )
+        findings = lint_source(src, CORE_PATH, STRICT)
+        assert [(f.rule, f.line) for f in findings] == [("R003", 4)]
+
+    def test_span_scoping_applies_to_project_findings_too(self):
+        files = {
+            "src/pkg/mod.py": (
+                "from repro.utils.rng import split_seed\n"
+                "def run(seed):\n"
+                "    a = split_seed(seed, 1)\n"
+                "    b = (  # repro-lint: disable=R102\n"
+                "        split_seed(seed, 1)\n"
+                "    )\n"
+                "    return a, b\n"
+            )
+        }
+        assert project_rules_hit(files) == []
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +955,111 @@ class TestConfigLoading:
 
 
 # ----------------------------------------------------------------------
+# Lint-result cache
+# ----------------------------------------------------------------------
+
+BAD_SRC = "import random\nimport time\nstamp = time.time()\n"
+
+
+class TestCache:
+    def _tree(self, tmp_path):
+        target = tmp_path / "proj" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(BAD_SRC)
+        return target
+
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        target = self._tree(tmp_path)
+        store = tmp_path / "cache.json"
+        cold_cache = LintCache(store, STRICT)
+        cold = lint_paths([str(target)], STRICT, cache=cold_cache)
+        cold_cache.save()
+        assert cold_cache.misses == 1 and cold_cache.hits == 0
+        assert store.exists()
+
+        warm_cache = LintCache(store, STRICT)
+        warm = lint_paths([str(target)], STRICT, cache=warm_cache)
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        assert warm == cold
+        assert all(isinstance(f, Finding) for f in warm)
+
+    def test_content_change_invalidates_entry(self, tmp_path):
+        target = self._tree(tmp_path)
+        store = tmp_path / "cache.json"
+        cache = LintCache(store, STRICT)
+        lint_paths([str(target)], STRICT, cache=cache)
+        cache.save()
+
+        target.write_text("x = 1\n")
+        warm_cache = LintCache(store, STRICT)
+        findings = lint_paths([str(target)], STRICT, cache=warm_cache)
+        assert warm_cache.misses == 1 and warm_cache.hits == 0
+        assert findings == []
+
+    def test_policy_change_invalidates_store(self, tmp_path):
+        target = self._tree(tmp_path)
+        store = tmp_path / "cache.json"
+        cache = LintCache(store, STRICT)
+        lint_paths([str(target)], STRICT, cache=cache)
+        cache.save()
+
+        relaxed = LintPolicy(forced_profile="relaxed")
+        assert policy_hash(relaxed) != policy_hash(STRICT)
+        other = LintCache(store, relaxed)
+        findings = lint_paths([str(target)], relaxed, cache=other)
+        assert other.misses == 1 and other.hits == 0
+        # relaxed profile drops the wall-clock rule but keeps R002
+        assert [f.rule for f in findings] == ["R002"]
+
+    def test_rules_version_change_invalidates_store(self, tmp_path):
+        target = self._tree(tmp_path)
+        store = tmp_path / "cache.json"
+        cache = LintCache(store, STRICT)
+        lint_paths([str(target)], STRICT, cache=cache)
+        cache.save()
+
+        stale = LintCache(store, STRICT, version="0123456789abcdef")
+        lint_paths([str(target)], STRICT, cache=stale)
+        assert stale.misses == 1 and stale.hits == 0
+
+    def test_corrupt_store_is_discarded(self, tmp_path):
+        target = self._tree(tmp_path)
+        store = tmp_path / "cache.json"
+        store.write_text("{not json")
+        cache = LintCache(store, STRICT)
+        findings = lint_paths([str(target)], STRICT, cache=cache)
+        assert cache.misses == 1
+        assert [f.rule for f in findings] == ["R002", "R003"]
+
+    def test_whole_program_result_is_cached_by_tree_digest(self, tmp_path):
+        root = tmp_path / "src" / "pkg"
+        root.mkdir(parents=True)
+        (root / "mod.py").write_text(
+            "from repro.utils.rng import split_seed\n"
+            "def run(seed):\n"
+            "    a = split_seed(seed, 1)\n"
+            "    b = split_seed(seed, 1)\n"
+            "    return a, b\n"
+        )
+        store = tmp_path / "cache.json"
+        cache = LintCache(store, STRICT)
+        cold = lint_project_paths([str(root)], STRICT, cache=cache)
+        cache.save()
+        assert [f.rule for f in cold] == ["R102"]
+
+        warm_cache = LintCache(store, STRICT)
+        warm = lint_project_paths([str(root)], STRICT, cache=warm_cache)
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        assert warm == cold
+
+        # touching any file in the tree invalidates the project entry
+        (root / "other.py").write_text("x = 1\n")
+        third = LintCache(store, STRICT)
+        lint_project_paths([str(root)], STRICT, cache=third)
+        assert third.hits == 0 and third.misses == 1
+
+
+# ----------------------------------------------------------------------
 # Output formats and CLI behaviour
 # ----------------------------------------------------------------------
 
@@ -460,25 +1096,86 @@ class TestOutputAndCli:
     def test_clean_file_exits_zero(self, tmp_path, capsys):
         good = tmp_path / "good.py"
         good.write_text("x = 1\n")
-        assert main([str(good), "--no-config"]) == 0
+        assert main([str(good), "--no-config", "--no-cache"]) == 0
         assert "clean" in capsys.readouterr().out
 
     def test_text_format_lists_location_and_rule(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import random\n")
-        assert main([str(bad), "--no-config"]) == 1
+        assert main([str(bad), "--no-config", "--no-cache"]) == 1
         out = capsys.readouterr().out
         assert "bad.py:1:0: R002" in out
         assert "1 finding" in out
 
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        code = main(
+            [str(bad), "--format", "github", "--no-config", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.startswith("::error file=")
+        assert f"file={bad}" in out
+        assert "line=1" in out and "title=R002::" in out
+
+    def test_github_format_escapes_newlines_and_percents(self, capsys):
+        from repro.lint.cli import render_github
+        import io
+
+        stream = io.StringIO()
+        finding = Finding(
+            path="a.py", line=1, col=0, rule="R001",
+            message="50% of\nthe time", profile="strict",
+        )
+        render_github([finding], stream)
+        line = stream.getvalue()
+        assert "50%25 of%0Athe time" in line
+        assert "\n" not in line.rstrip("\n")
+
+    def test_whole_program_flag_runs_project_passes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(
+            "from repro.utils.rng import split_seed\n"
+            "def run(seed):\n"
+            "    a = split_seed(seed, 1)\n"
+            "    b = split_seed(seed, 1)\n"
+            "    return a, b\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        # without the flag the per-file pass sees nothing
+        assert main([str(pkg), "--no-config", "--no-cache"]) == 0
+        capsys.readouterr()
+        code = main(
+            [str(pkg), "--whole-program", "--format", "json",
+             "--no-config", "--no-cache"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["counts"] == {"R102": 1}
+
+    def test_cli_writes_and_reuses_cache_file(self, tmp_path, capsys, monkeypatch):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([str(bad), "--no-config"]) == 1
+        assert (tmp_path / ".repro-lint-cache.json").exists()
+        capsys.readouterr()
+        # second run replays from cache and reports identically
+        assert main([str(bad), "--no-config"]) == 1
+        assert "bad.py:1:0: R002" in capsys.readouterr().out
+
     def test_missing_path_exits_two(self, capsys):
-        assert main(["definitely/not/there", "--no-config"]) == 2
+        assert main(["definitely/not/there", "--no-config", "--no-cache"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_syntax_error_reported_not_raised(self, tmp_path, capsys):
         broken = tmp_path / "broken.py"
         broken.write_text("def oops(:\n")
-        assert main([str(broken), "--no-config"]) == 1
+        assert main([str(broken), "--no-config", "--no-cache"]) == 1
         assert "E999" in capsys.readouterr().out
 
     def test_list_rules(self, capsys):
@@ -486,6 +1183,7 @@ class TestOutputAndCli:
         out = capsys.readouterr().out
         for rule_id in rule_ids():
             assert rule_id in out
+        assert "[whole-program]" in out
 
 
 # ----------------------------------------------------------------------
@@ -505,3 +1203,37 @@ class TestRepoSelfCheck:
         policy = load_policy(REPO_ROOT / "pyproject.toml")
         findings = lint_paths(["tests"], policy)
         assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_whole_program_passes_are_clean_repo_wide(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        policy = load_policy(REPO_ROOT / "pyproject.toml")
+        findings = lint_project_paths(
+            ["src", "tests", "benchmarks", "examples"], policy
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_warm_cache_cuts_repo_lint_wall_time(self, tmp_path, monkeypatch):
+        """A warm cache must cost <= 25%% of a cold repo-wide run."""
+        monkeypatch.chdir(REPO_ROOT)
+        policy = load_policy(REPO_ROOT / "pyproject.toml")
+        roots = ["src"]
+        store = tmp_path / "cache.json"
+
+        cold_cache = LintCache(store, policy)
+        t0 = time.perf_counter()
+        cold = lint_paths(roots, policy, cache=cold_cache)
+        cold += lint_project_paths(roots, policy, cache=cold_cache)
+        cold_elapsed = time.perf_counter() - t0
+        cold_cache.save()
+
+        warm_cache = LintCache(store, policy)
+        t0 = time.perf_counter()
+        warm = lint_paths(roots, policy, cache=warm_cache)
+        warm += lint_project_paths(roots, policy, cache=warm_cache)
+        warm_elapsed = time.perf_counter() - t0
+
+        assert warm_cache.hits > 0 and warm_cache.misses == 0
+        assert sorted(warm) == sorted(cold)
+        assert warm_elapsed <= 0.25 * cold_elapsed, (
+            f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s"
+        )

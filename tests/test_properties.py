@@ -229,7 +229,9 @@ class TestRngProperty:
     def test_split_seed_in_range_and_deterministic(self, seed, idx):
         a = split_seed(seed, idx)
         assert 0 <= a < 2**64
-        assert a == split_seed(seed, idx)
+        # duplicate fork on purpose: the property under test IS that
+        # equal (seed, idx) pairs derive the same stream
+        assert a == split_seed(seed, idx)  # repro-lint: disable=R102
 
 
 class TestMetricsProperty:

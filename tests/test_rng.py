@@ -13,8 +13,9 @@ from repro.utils.rng import (
 
 class TestSplitSeed:
     def test_deterministic(self):
-        assert split_seed(42, 0) == split_seed(42, 0)
-        assert split_seed(42, 7) == split_seed(42, 7)
+        # duplicate forks are the point here: asserting determinism
+        assert split_seed(42, 0) == split_seed(42, 0)  # repro-lint: disable=R102
+        assert split_seed(42, 7) == split_seed(42, 7)  # repro-lint: disable=R102
 
     def test_different_indices_differ(self):
         seeds = {split_seed(42, i) for i in range(1000)}
@@ -78,7 +79,8 @@ class TestEnsureGenerator:
 
     def test_rejects_garbage(self):
         with pytest.raises(TypeError):
-            ensure_generator("not a seed")
+            # deliberately invalid seed: asserting the rejection path
+            ensure_generator("not a seed")  # repro-lint: disable=R101
 
 
 class TestSeedSequenceFactory:

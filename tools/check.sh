@@ -17,8 +17,14 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1: pytest =="
 python -m pytest -x -q
 
-echo "== static analysis: repro.lint =="
-python -m repro.lint src tests benchmarks examples --format "${LINT_FORMAT:-json}"
+echo "== static analysis: repro.lint (incl. whole-program + FFI) =="
+# --whole-program adds the cross-module passes: seed provenance (R101),
+# double-fork (R102), RNG-across-pool (R103), pool-payload purity
+# (R104), the C<->ctypes prototype checker (R110) over _kernels.c, and
+# resource lifecycle (R111).  Results are cached in
+# .repro-lint-cache.json keyed by content/policy/lint-code hashes.
+python -m repro.lint src tests benchmarks examples --whole-program \
+    --format "${LINT_FORMAT:-json}"
 
 echo "== smoke: runtime study, both engines =="
 # The fastpath kernels must render the same study as the DES oracle.
