@@ -51,7 +51,11 @@ def machine_meta() -> dict:
     """
     import numpy as np
 
-    from repro.core._native import native_available
+    from repro.core._native import (
+        native_available,
+        native_threading_mode,
+        resolve_n_threads,
+    )
 
     return {
         "platform": platform.platform(),
@@ -61,6 +65,14 @@ def machine_meta() -> dict:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "native_kernels": native_available(),
+        # Threading context of the measurement: the compiled-in threading
+        # backend ("pthread"/"openmp"/"serial", None without native
+        # kernels) and the effective in-kernel thread count
+        # (REPRO_NATIVE_THREADS or auto-detected cores).  bench_compare
+        # warns -- rather than reporting a regression -- when these
+        # differ between baseline and candidate.
+        "native_threading": native_threading_mode(),
+        "n_threads": resolve_n_threads(),
     }
 
 

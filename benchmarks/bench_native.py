@@ -19,9 +19,20 @@ Machine-readable results land in ``benchmarks/results/BENCH_native.json``
 
     REPRO_FULL=1 PYTHONPATH=src python -m pytest benchmarks/bench_native.py \
         --benchmark-only -q
+
+The in-kernel thread-scaling curve (trial-block multithreading inside
+the C kernels; bit-identical for every count) is recorded by running
+this file as a script::
+
+    PYTHONPATH=src python benchmarks/bench_native.py --threads 1,2,4,8
+
+which refreshes the ``thread_scaling`` group of BENCH_native.json in
+place, leaving the single-thread kernel entries untouched.
 """
 
+import argparse
 import json
+import os
 import time
 
 import pytest
@@ -60,7 +71,7 @@ pytestmark = pytest.mark.skipif(
     not _native.native_available(), reason="no system C compiler"
 )
 
-_RESULTS = {"kernels": {}, "entries": {}}
+_RESULTS = {"kernels": {}, "entries": {}, "thread_scaling": {}}
 
 
 def _load_existing():
@@ -74,7 +85,7 @@ def _load_existing():
     except (OSError, ValueError):
         return
     if payload.get("n_processors") == N_PROCESSORS and payload.get("seed") == SEED:
-        for group in ("kernels", "entries"):
+        for group in ("kernels", "entries", "thread_scaling"):
             existing = payload.get(group)
             if isinstance(existing, dict):
                 _RESULTS[group].update(existing)
@@ -101,6 +112,7 @@ def _write_artifacts():
         "machine": machine_meta(),
         "kernels": _RESULTS["kernels"],
         "entries": _RESULTS["entries"],
+        "thread_scaling": _RESULTS["thread_scaling"],
     }
     (RESULTS_DIR / "BENCH_native.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -124,6 +136,18 @@ def _write_artifacts():
             f"{name}: {e['n_trials']} trials in {e['wall_seconds']:.1f} s "
             f"({e['trials_per_s']:.1f} trials/s, sampling included)"
         )
+    for name, e in sorted(_RESULTS["thread_scaling"].items()):
+        lines.append("")
+        lines.append(
+            f"thread scaling [{name}] -- mode={e['mode']}, "
+            f"{e['cpu_count']} core(s), {e['n_trials']} trials"
+        )
+        for point in e["points"]:
+            lines.append(
+                f"  {point['n_threads']:>3} thread(s): "
+                f"{point['trials_per_s']:>10.1f} trials/s "
+                f"({point['speedup_vs_1']:.2f}x vs 1 thread)"
+            )
     write_artifact("native_kernels", "\n".join(lines))
 
 
@@ -307,3 +331,130 @@ class TestEndToEnd:
         benchmark.extra_info.update(entry)
         _write_artifacts()
         assert checksum > 0.0
+
+
+# ----------------------------------------------------------------------
+# Thread-scaling curve (script mode)
+# ----------------------------------------------------------------------
+
+
+def _parse_threads(text):
+    """Comma-separated positive thread counts; argparse-friendly errors."""
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not counts or any(c < 1 for c in counts):
+        raise argparse.ArgumentTypeError(
+            f"thread counts must be positive integers, got {text!r}"
+        )
+    return counts
+
+
+def record_thread_scaling(thread_counts, n_trials=None):
+    """Measure the end-to-end run at each thread count; refresh the artifact.
+
+    Same pipeline as ``TestEndToEnd`` (sampler -> chunked BA-HF native
+    batches -> ratios), with the in-kernel trial-block sharding pinned to
+    each requested count.  Bit-identity across counts is asserted on the
+    ratio checksum before any number is recorded.  Speedups are relative
+    to the 1-thread rate of the *same* run, so the curve is honest even
+    on a single-core box (where it is expected to be flat).
+    """
+    total = n_trials if n_trials is not None else ENDTOEND_TRIALS
+    counts = sorted(set(thread_counts) | {1})
+
+    def run_all(n_threads):
+        checksum = 0.0
+        done = 0
+        while done < total:
+            n = min(ENDTOEND_CHUNK, total - done)
+            ratios = trial_ratios(
+                "bahf",
+                N_PROCESSORS,
+                SAMPLER,
+                n_trials=n,
+                seed=SEED,
+                start=done,
+                use_batch=True,
+                n_threads=n_threads,
+            )
+            checksum += float(ratios.sum())
+            done += n
+        return checksum
+
+    run_all(counts[0])  # warm: triggers the on-demand compile/load
+    points = []
+    checksums = set()
+    for n_threads in counts:
+        start = time.perf_counter()
+        checksums.add(run_all(n_threads))
+        wall = time.perf_counter() - start
+        points.append(
+            {
+                "n_threads": n_threads,
+                "wall_seconds": wall,
+                "trials_per_s": total / wall,
+            }
+        )
+        print(
+            f"  n_threads={n_threads}: {total} trials in {wall:.2f} s "
+            f"({total / wall:.1f} trials/s)"
+        )
+    assert len(checksums) == 1, (
+        f"ratios are not bit-identical across thread counts: {checksums}"
+    )
+    base = next(p["trials_per_s"] for p in points if p["n_threads"] == 1)
+    for point in points:
+        point["speedup_vs_1"] = point["trials_per_s"] / base
+    entry = {
+        "algorithm": "bahf",
+        "n_processors": N_PROCESSORS,
+        "n_trials": total,
+        "chunk_size": ENDTOEND_CHUNK,
+        "mode": _native.native_threading_mode(),
+        "cpu_count": os.cpu_count(),
+        "points": points,
+    }
+    _RESULTS["thread_scaling"]["endtoend_bahf_n65536"] = entry
+    _write_artifacts()
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=(
+            "Record the in-kernel thread-scaling curve into "
+            "benchmarks/results/BENCH_native.json"
+        )
+    )
+    parser.add_argument(
+        "--threads",
+        type=_parse_threads,
+        default=(1, 2, 4, 8),
+        metavar="T,T,..",
+        help="comma-separated thread counts to measure (default 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help=f"end-to-end trials per point (default {ENDTOEND_TRIALS})",
+    )
+    args = parser.parse_args(argv)
+    if not _native.native_available():
+        print("native kernels unavailable (no system C compiler); nothing to do")
+        return 1
+    print(
+        f"thread scaling at N={N_PROCESSORS}, mode="
+        f"{_native.native_threading_mode()}, {os.cpu_count()} core(s):"
+    )
+    record_thread_scaling(args.threads, n_trials=args.trials)
+    print(f"artifact refreshed: {RESULTS_DIR / 'BENCH_native.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,10 +20,144 @@
  * bit-identical to the DES oracle): every float chain is evaluated with
  * the same association.  Must NOT be compiled with -ffast-math or the
  * products may be contracted/reassociated.
+ *
+ * Trial-block threading: every kernel takes a trailing `n_threads` and
+ * shards its trial range into at most that many *contiguous* blocks,
+ * one worker per block.  Trials are mutually independent and each trial
+ * writes only its own output row / metric slots, so any thread count
+ * computes bit-identical results by construction -- threading never
+ * changes which float operations run for a trial, only which thread
+ * runs them.  Two backends are selected at compile time by _native.py:
+ *
+ *   -DREPRO_THREADS_PTHREAD (-pthread)  -- spawn-and-join pthreads per
+ *       call.  Deliberately NOT a persistent pool: the experiment
+ *       runners fork worker processes (ProcessPoolExecutor), and a
+ *       library-held thread pool does not survive fork() -- children
+ *       would inherit locked mutexes and dead threads.  Per-call spawn
+ *       keeps the library fork-safe and costs microseconds against
+ *       kernel calls that run for milliseconds.
+ *   -DREPRO_THREADS_OPENMP (-fopenmp)   -- optional OpenMP path (probed
+ *       at build time); same contiguous block decomposition.
+ *
+ * With neither define the block runner degrades to one inline call
+ * (serial), so the source always compiles with a bare C99 toolchain.
  */
 
 #include <math.h>
 #include <stdlib.h>
+
+#if defined(REPRO_THREADS_PTHREAD)
+#include <pthread.h>
+#define REPRO_THREAD_BACKEND 1
+#elif defined(REPRO_THREADS_OPENMP)
+#include <omp.h>
+#define REPRO_THREAD_BACKEND 2
+#else
+#define REPRO_THREAD_BACKEND 0
+#endif
+
+/* Upper bound on worker threads per call; keeps the per-call block
+ * table on the stack.  Far above any sane core count. */
+#define REPRO_MAX_THREADS 128
+
+/* Which threading backend this library was compiled with: 0 = serial,
+ * 1 = pthread, 2 = OpenMP.  The Python side reports this as the
+ * threading mode and records it in benchmark artifacts. */
+int repro_threading_backend(void)
+{
+    return REPRO_THREAD_BACKEND;
+}
+
+/* ------------------------------------------------------------------ */
+/* Trial-block runner                                                  */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    void (*fn)(void *ctx, long lo, long hi, int *rc);
+    void *ctx;
+    long lo;
+    long hi;
+    int rc;
+} trial_block;
+
+static void run_trial_block(trial_block *block)
+{
+    block->rc = 0;
+    block->fn(block->ctx, block->lo, block->hi, &block->rc);
+}
+
+#if REPRO_THREAD_BACKEND == 1
+static void *trial_block_main(void *arg)
+{
+    run_trial_block((trial_block *)arg);
+    return NULL;
+}
+#endif
+
+/* Run fn over [0, n_items) in at most n_threads contiguous blocks.
+ * Block b covers [b*n_items/nb, (b+1)*n_items/nb) -- disjoint and
+ * exhaustive for any nb, so output rows never alias across workers.
+ * Returns 0 when every block succeeded, else the first nonzero block
+ * status (callers fall back to NumPy wholesale). */
+static int for_each_trial_block(void (*fn)(void *, long, long, int *),
+                                void *ctx, long n_items, long n_threads)
+{
+    trial_block blocks[REPRO_MAX_THREADS];
+    long nb, b;
+    int rc = 0;
+
+    if (n_threads < 1)
+        n_threads = 1;
+    if (n_threads > REPRO_MAX_THREADS)
+        n_threads = REPRO_MAX_THREADS;
+    if (n_threads > n_items)
+        n_threads = (n_items > 0) ? n_items : 1;
+#if REPRO_THREAD_BACKEND == 0
+    n_threads = 1;
+#endif
+    nb = n_threads;
+    for (b = 0; b < nb; ++b) {
+        blocks[b].fn = fn;
+        blocks[b].ctx = ctx;
+        blocks[b].lo = b * n_items / nb;
+        blocks[b].hi = (b + 1) * n_items / nb;
+        blocks[b].rc = 0;
+    }
+    if (nb == 1) {
+        run_trial_block(&blocks[0]);
+        return blocks[0].rc;
+    }
+#if REPRO_THREAD_BACKEND == 1
+    {
+        pthread_t tids[REPRO_MAX_THREADS];
+        long spawned = 0;
+
+        for (b = 0; b + 1 < nb; ++b) {
+            if (pthread_create(&tids[b], NULL, trial_block_main,
+                               &blocks[b]) != 0)
+                break; /* un-spawned blocks run inline below */
+            ++spawned;
+        }
+        run_trial_block(&blocks[nb - 1]);
+        for (b = spawned; b + 1 < nb; ++b)
+            run_trial_block(&blocks[b]);
+        for (b = 0; b < spawned; ++b)
+            pthread_join(tids[b], NULL);
+    }
+#elif REPRO_THREAD_BACKEND == 2
+    {
+        int i;
+#pragma omp parallel for num_threads((int)nb) schedule(static)
+        for (i = 0; i < (int)nb; ++i)
+            run_trial_block(&blocks[i]);
+    }
+#endif
+    for (b = 0; b < nb; ++b) {
+        if (blocks[b].rc != 0)
+            rc = blocks[b].rc;
+    }
+    return rc;
+}
 
 /* ------------------------------------------------------------------ */
 /* HF: hold-back 8-ary max-heap                                        */
@@ -95,12 +229,37 @@ static void hf_one(const double *draws, double *heap, double w0, long n)
     heap[n - 1] = cur;
 }
 
-void repro_hf_batch(const double *draws, long draws_stride,
-                    const double *w0, double *out, long n_trials, long n)
+typedef struct {
+    const double *draws;
+    long stride;
+    const double *w0;
+    double *out;
+    long n;
+} hf_ctx;
+
+static void hf_trial_block(void *vctx, long lo, long hi, int *rc)
 {
+    hf_ctx *ctx = (hf_ctx *)vctx;
     long i;
-    for (i = 0; i < n_trials; ++i)
-        hf_one(draws + i * draws_stride, out + i * n, w0[i], n);
+
+    (void)rc; /* the HF kernel cannot fail */
+    for (i = lo; i < hi; ++i)
+        hf_one(ctx->draws + i * ctx->stride, ctx->out + i * ctx->n,
+               ctx->w0[i], ctx->n);
+}
+
+void repro_hf_batch(const double *draws, long draws_stride,
+                    const double *w0, double *out, long n_trials, long n,
+                    long n_threads)
+{
+    hf_ctx ctx;
+
+    ctx.draws = draws;
+    ctx.stride = draws_stride;
+    ctx.w0 = w0;
+    ctx.out = out;
+    ctx.n = n;
+    (void)for_each_trial_block(hf_trial_block, &ctx, n_trials, n_threads);
 }
 
 /* ------------------------------------------------------------------ */
@@ -135,15 +294,75 @@ static long ba_split_n1(double w1, double w2, long n)
     return (cost_lo <= cost_hi) ? lo : hi;
 }
 
-/* Shared BA / BA-HF driver.  threshold < 0 means plain BA (nodes stop
- * at size 1); otherwise nodes with (double)n < threshold finish with the
- * HF heap (BA-HF's switch-over).  The DFS stack never grows past the
- * recursion depth + 1 <= n, so two n+1 slot arrays suffice.  Returns 0
- * on success, -1 on allocation failure (callers fall back to NumPy). */
-static int ba_like_batch(const double *draws, long draws_stride,
-                         const double *w0, double *out, long n_trials,
-                         long n, double threshold)
+/* One BA / BA-HF trial.  threshold < 0 means plain BA (nodes stop at
+ * size 1); otherwise nodes with (double)n < threshold finish with the
+ * HF heap (BA-HF's switch-over).  `sw`/`sn` are caller-provided stack
+ * scratch of n + 1 slots each (the DFS never grows past the recursion
+ * depth + 1 <= n). */
+static void ba_one(const double *row, double *orow, double w0, long n,
+                   double threshold, double *sw, long *sn)
 {
+    long top = 0, pos = 0, k = 0;
+
+    sw[top] = w0;
+    sn[top] = n;
+    ++top;
+    while (top > 0) {
+        double w;
+        long m;
+
+        --top;
+        w = sw[top];
+        m = sn[top];
+        if (threshold >= 0.0 && (double)m < threshold) {
+            if (m == 1) {
+                orow[pos++] = w;
+            } else {
+                hf_one(row + k, orow + pos, w, m);
+                k += m - 1;
+                pos += m;
+            }
+            continue;
+        }
+        if (m == 1) {
+            orow[pos++] = w;
+            continue;
+        }
+        {
+            double a = row[k++];
+            double w2 = a * w;
+            double w1 = w - w2;
+            long n1;
+
+            if (w1 < w2) {
+                double tmp = w1;
+                w1 = w2;
+                w2 = tmp;
+            }
+            n1 = ba_split_n1(w1, w2, m);
+            sw[top] = w2;
+            sn[top] = m - n1;
+            ++top;
+            sw[top] = w1;
+            sn[top] = n1;
+            ++top;
+        }
+    }
+}
+
+typedef struct {
+    const double *draws;
+    long stride;
+    const double *w0;
+    double *out;
+    long n;
+    double threshold;
+} ba_ctx;
+
+static void ba_trial_block(void *vctx, long lo, long hi, int *rc)
+{
+    ba_ctx *ctx = (ba_ctx *)vctx;
+    long n = ctx->n;
     double *sw = (double *)malloc((size_t)(n + 1) * sizeof(double));
     long *sn = (long *)malloc((size_t)(n + 1) * sizeof(long));
     long i;
@@ -151,75 +370,45 @@ static int ba_like_batch(const double *draws, long draws_stride,
     if (sw == NULL || sn == NULL) {
         free(sw);
         free(sn);
-        return -1;
+        *rc = -1;
+        return;
     }
-    for (i = 0; i < n_trials; ++i) {
-        const double *row = draws + i * draws_stride;
-        double *orow = out + i * n;
-        long top = 0, pos = 0, k = 0;
-
-        sw[top] = w0[i];
-        sn[top] = n;
-        ++top;
-        while (top > 0) {
-            double w;
-            long m;
-
-            --top;
-            w = sw[top];
-            m = sn[top];
-            if (threshold >= 0.0 && (double)m < threshold) {
-                if (m == 1) {
-                    orow[pos++] = w;
-                } else {
-                    hf_one(row + k, orow + pos, w, m);
-                    k += m - 1;
-                    pos += m;
-                }
-                continue;
-            }
-            if (m == 1) {
-                orow[pos++] = w;
-                continue;
-            }
-            {
-                double a = row[k++];
-                double w2 = a * w;
-                double w1 = w - w2;
-                long n1;
-
-                if (w1 < w2) {
-                    double tmp = w1;
-                    w1 = w2;
-                    w2 = tmp;
-                }
-                n1 = ba_split_n1(w1, w2, m);
-                sw[top] = w2;
-                sn[top] = m - n1;
-                ++top;
-                sw[top] = w1;
-                sn[top] = n1;
-                ++top;
-            }
-        }
-    }
+    for (i = lo; i < hi; ++i)
+        ba_one(ctx->draws + i * ctx->stride, ctx->out + i * n, ctx->w0[i],
+               n, ctx->threshold, sw, sn);
     free(sw);
     free(sn);
-    return 0;
+}
+
+static int ba_like_batch(const double *draws, long draws_stride,
+                         const double *w0, double *out, long n_trials,
+                         long n, double threshold, long n_threads)
+{
+    ba_ctx ctx;
+
+    ctx.draws = draws;
+    ctx.stride = draws_stride;
+    ctx.w0 = w0;
+    ctx.out = out;
+    ctx.n = n;
+    ctx.threshold = threshold;
+    return for_each_trial_block(ba_trial_block, &ctx, n_trials, n_threads);
 }
 
 int repro_ba_batch(const double *draws, long draws_stride,
-                   const double *w0, double *out, long n_trials, long n)
+                   const double *w0, double *out, long n_trials, long n,
+                   long n_threads)
 {
-    return ba_like_batch(draws, draws_stride, w0, out, n_trials, n, -1.0);
+    return ba_like_batch(draws, draws_stride, w0, out, n_trials, n, -1.0,
+                         n_threads);
 }
 
 int repro_bahf_batch(const double *draws, long draws_stride,
                      const double *w0, double *out, long n_trials, long n,
-                     double threshold)
+                     double threshold, long n_threads)
 {
     return ba_like_batch(draws, draws_stride, w0, out, n_trials, n,
-                         threshold);
+                         threshold, n_threads);
 }
 
 /* ------------------------------------------------------------------ */
@@ -251,18 +440,40 @@ static int band_cmp(const void *pa, const void *pb)
     return 0;
 }
 
+typedef struct {
+    const double *draws;
+    long stride;
+    long n;
+    double w0;
+    double threshold;
+    double band_factor;
+    int keep_heavy;
+    double t_b;
+    double t_a;
+    double t_s;
+    double c;
+    double *makespan;
+    double *coll_time;
+    long *coll_n;
+    long *ctrl;
+    double *maxw;
+    long *status;
+} phf_ctx;
+
 /* Per-trial PHF replay of the generation-lockstep fastpath.  Outputs
  * (one slot per trial): makespan, collective time, collective count,
  * control messages, max final weight and a status code (0 ok, 1 phase 1
- * ran out of free processors, 2 phase 2 failed to converge).  Returns 0
- * on success, -1 on allocation failure. */
-int repro_phf_metrics(const double *draws, long draws_stride,
-                      long n_trials, long n, double w0, double threshold,
-                      double band_factor, int keep_heavy, double t_b,
-                      double t_a, double t_s, double c, double *makespan,
-                      double *coll_time, long *coll_n, long *ctrl,
-                      double *maxw, long *status)
+ * ran out of free processors, 2 phase 2 failed to converge).  Block
+ * status is 0 on success, -1 on scratch allocation failure. */
+static void phf_trial_block(void *vctx, long lo, long hi, int *rc)
 {
+    phf_ctx *p = (phf_ctx *)vctx;
+    long n = p->n;
+    double w0 = p->w0;
+    double threshold = p->threshold;
+    double band_factor = p->band_factor;
+    int keep_heavy = p->keep_heavy;
+    double t_b = p->t_b, t_a = p->t_a, t_s = p->t_s, c = p->c;
     double *weights = (double *)malloc((size_t)n * sizeof(double));
     long *wproc = (long *)malloc((size_t)n * sizeof(long));
     double *fw_a = (double *)malloc((size_t)n * sizeof(double));
@@ -281,11 +492,12 @@ int repro_phf_metrics(const double *draws, long draws_stride,
         free(fp_a);
         free(fp_b);
         free(band);
-        return -1;
+        *rc = -1;
+        return;
     }
 
-    for (i = 0; i < n_trials; ++i) {
-        const double *row = draws + i * draws_stride;
+    for (i = lo; i < hi; ++i) {
+        const double *row = p->draws + i * p->stride;
         double *fw_cur = fw_a, *fw_next = fw_b;
         long *fp_cur = fp_a, *fp_next = fp_b;
         long frontier_len = 1;
@@ -362,12 +574,12 @@ int repro_phf_metrics(const double *draws, long draws_stride,
             frontier_len = next_len;
         }
         if (err) {
-            status[i] = 1;
-            makespan[i] = 0.0;
-            coll_time[i] = 0.0;
-            coll_n[i] = 0;
-            ctrl[i] = 0;
-            maxw[i] = 0.0;
+            p->status[i] = 1;
+            p->makespan[i] = 0.0;
+            p->coll_time[i] = 0.0;
+            p->coll_n[i] = 0;
+            p->ctrl[i] = 0;
+            p->maxw[i] = 0.0;
             continue;
         }
 
@@ -459,12 +671,12 @@ int repro_phf_metrics(const double *draws, long draws_stride,
             t_cur = finish;
         }
         if (err) {
-            status[i] = 2;
-            makespan[i] = 0.0;
-            coll_time[i] = 0.0;
-            coll_n[i] = 0;
-            ctrl[i] = 0;
-            maxw[i] = 0.0;
+            p->status[i] = 2;
+            p->makespan[i] = 0.0;
+            p->coll_time[i] = 0.0;
+            p->coll_n[i] = 0;
+            p->ctrl[i] = 0;
+            p->maxw[i] = 0.0;
             continue;
         }
 
@@ -473,12 +685,12 @@ int repro_phf_metrics(const double *draws, long draws_stride,
             if (weights[j] > mw)
                 mw = weights[j];
         }
-        status[i] = 0;
-        makespan[i] = t_cur;
-        coll_time[i] = ct;
-        coll_n[i] = ncoll;
-        ctrl[i] = nctrl;
-        maxw[i] = mw;
+        p->status[i] = 0;
+        p->makespan[i] = t_cur;
+        p->coll_time[i] = ct;
+        p->coll_n[i] = ncoll;
+        p->ctrl[i] = nctrl;
+        p->maxw[i] = mw;
     }
 
     free(weights);
@@ -488,5 +700,33 @@ int repro_phf_metrics(const double *draws, long draws_stride,
     free(fp_a);
     free(fp_b);
     free(band);
-    return 0;
+}
+
+int repro_phf_metrics(const double *draws, long draws_stride,
+                      long n_trials, long n, double w0, double threshold,
+                      double band_factor, int keep_heavy, double t_b,
+                      double t_a, double t_s, double c, double *makespan,
+                      double *coll_time, long *coll_n, long *ctrl,
+                      double *maxw, long *status, long n_threads)
+{
+    phf_ctx ctx;
+
+    ctx.draws = draws;
+    ctx.stride = draws_stride;
+    ctx.n = n;
+    ctx.w0 = w0;
+    ctx.threshold = threshold;
+    ctx.band_factor = band_factor;
+    ctx.keep_heavy = keep_heavy;
+    ctx.t_b = t_b;
+    ctx.t_a = t_a;
+    ctx.t_s = t_s;
+    ctx.c = c;
+    ctx.makespan = makespan;
+    ctx.coll_time = coll_time;
+    ctx.coll_n = coll_n;
+    ctx.ctrl = ctrl;
+    ctx.maxw = maxw;
+    ctx.status = status;
+    return for_each_trial_block(phf_trial_block, &ctx, n_trials, n_threads);
 }

@@ -20,9 +20,22 @@ Everything here degrades gracefully: if there is no compiler, the build
 fails, or ``REPRO_NO_NATIVE`` is set in the environment, callers get
 ``None``/``False`` and fall back to the pure-NumPy kernels.  The shared
 object is cached under the system temp directory, keyed by a hash of the
-source text *and the compiler version*, so it compiles once per machine
-and toolchain, not once per process; a one-line log records whether the
-compile was skipped (cache hit), performed, or failed.
+source text, *the compiler version* and the threading mode, so it
+compiles once per machine and toolchain, not once per process; one-line
+logs record whether the compile was skipped (cache hit), performed, or
+failed, and which threading mode was chosen.
+
+Threading: at build time the compiler is probed once (and the result
+memoized) for ``-pthread`` and ``-fopenmp`` support; the first mode that
+links is compiled in (pthread preferred -- its per-call spawn-and-join
+has no persistent state and is therefore fork-safe under the process
+pool, unlike OpenMP's cached thread teams) and the kernels shard their
+trial range into contiguous blocks, one per thread.  Blocks write
+disjoint output rows, so results are bit-identical for every thread
+count.  ``REPRO_NATIVE_THREAD_MODE`` forces a mode (``pthread`` /
+``openmp`` / ``serial``); ``REPRO_NATIVE_THREADS`` sets the default
+thread count (``auto``/``0``/unset means :func:`os.cpu_count`), and
+every wrapper takes an explicit ``n_threads`` override.
 """
 
 from __future__ import annotations
@@ -47,7 +60,9 @@ __all__ = [
     "bahf_batch_native",
     "hf_batch_native",
     "native_available",
+    "native_threading_mode",
     "phf_metrics_native",
+    "resolve_n_threads",
 ]
 
 _SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_kernels.c")
@@ -60,6 +75,40 @@ _lib: Optional[ctypes.CDLL] = None
 _load_attempted = False
 
 _compiler_version_cache: Dict[str, str] = {}
+
+# Threading modes in probe-preference order, and the extra compile flags
+# each one needs.  pthread before OpenMP: both scale identically here,
+# but libgomp keeps its thread team alive between calls, which does not
+# survive fork() into ProcessPoolExecutor workers; the pthread path
+# spawns and joins per call and is fork-safe by construction.
+_THREAD_MODE_FLAGS: Dict[str, Tuple[str, ...]] = {
+    "pthread": ("-pthread", "-DREPRO_THREADS_PTHREAD"),
+    "openmp": ("-fopenmp", "-DREPRO_THREADS_OPENMP"),
+    "serial": (),
+}
+_THREAD_BACKEND_NAMES = {0: "serial", 1: "pthread", 2: "openmp"}
+
+_thread_probe_cache: Dict[Tuple[str, str], bool] = {}
+_thread_mode_cache: Dict[str, str] = {}
+
+# Minimal translation units used to probe whether a threading flag both
+# compiles and links on this toolchain.
+_PROBE_SOURCES = {
+    "pthread": (
+        "#include <pthread.h>\n"
+        "static void *probe_main(void *arg) { return arg; }\n"
+        "int probe(void) { pthread_t t;\n"
+        "    if (pthread_create(&t, 0, probe_main, 0)) return 1;\n"
+        "    return pthread_join(t, 0); }\n"
+    ),
+    "openmp": (
+        "#include <omp.h>\n"
+        "int probe(void) { int s = 0; int i;\n"
+        "#pragma omp parallel for reduction(+:s)\n"
+        "    for (i = 0; i < 4; ++i) s += i;\n"
+        "    return s; }\n"
+    ),
+}
 
 
 def _disabled() -> bool:
@@ -95,10 +144,74 @@ def _compiler_version(compiler: str) -> str:
     return version
 
 
-def _cache_dir(source: bytes, compiler_version: str) -> str:
+def _probe_thread_flag(compiler: str, mode: str) -> bool:
+    """True when ``mode``'s flag compiles AND links (memoized)."""
+    key = (compiler, mode)
+    cached = _thread_probe_cache.get(key)
+    if cached is not None:
+        return cached
+    flags = _THREAD_MODE_FLAGS[mode]
+    ok = False
+    tmp_dir = tempfile.mkdtemp(prefix="repro-thread-probe-")
+    try:
+        src_path = os.path.join(tmp_dir, "probe.c")
+        with open(src_path, "w", encoding="utf-8") as fh:
+            fh.write(_PROBE_SOURCES[mode])
+        proc = subprocess.run(
+            [compiler, *flags, "-shared", "-fPIC", "-o",
+             os.path.join(tmp_dir, "probe.so"), src_path],
+            capture_output=True,
+            timeout=60,
+            check=False,
+        )
+        ok = proc.returncode == 0
+    except Exception:
+        ok = False
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    # Memoized toolchain fact, same rationale as _compiler_version.
+    _thread_probe_cache[key] = ok  # repro-lint: disable=R104
+    return ok
+
+
+def _threading_mode(compiler: str) -> str:
+    """Pick the threading mode to compile in (memoized per compiler).
+
+    ``REPRO_NATIVE_THREAD_MODE`` forces a mode (still probed, falling
+    back to serial when the flag does not link); otherwise the first of
+    pthread, openmp that probes clean wins, else serial.  Logs the
+    chosen mode once.
+    """
+    cached = _thread_mode_cache.get(compiler)
+    if cached is not None:
+        return cached
+    forced = os.environ.get("REPRO_NATIVE_THREAD_MODE", "").strip().lower()
+    if forced and forced not in _THREAD_MODE_FLAGS:
+        _logger.warning(
+            "ignoring unknown REPRO_NATIVE_THREAD_MODE=%r "
+            "(expected pthread/openmp/serial)", forced
+        )
+        forced = ""
+    candidates = (forced,) if forced else ("pthread", "openmp")
+    mode = "serial"
+    for candidate in candidates:
+        if candidate == "serial" or _probe_thread_flag(compiler, candidate):
+            mode = candidate
+            break
+    flags = " ".join(_THREAD_MODE_FLAGS[mode]) or "none"
+    _logger.info("native kernels threading mode: %s (flags: %s)", mode, flags)
+    # Memoized toolchain fact, same rationale as _compiler_version.
+    _thread_mode_cache[compiler] = mode  # repro-lint: disable=R104
+    return mode
+
+
+def _cache_dir(source: bytes, compiler_version: str, thread_mode: str) -> str:
     uid = getattr(os, "getuid", lambda: 0)()
     digest = hashlib.sha256(
-        source + sys.platform.encode() + compiler_version.encode()
+        source
+        + sys.platform.encode()
+        + compiler_version.encode()
+        + thread_mode.encode()
     ).hexdigest()[:16]
     return os.path.join(tempfile.gettempdir(), f"repro-kernels-{uid}-{digest}")
 
@@ -108,6 +221,8 @@ _LONG_P = ctypes.POINTER(ctypes.c_long)
 
 
 def _declare(lib: ctypes.CDLL) -> None:
+    lib.repro_threading_backend.restype = ctypes.c_int
+    lib.repro_threading_backend.argtypes = []
     lib.repro_hf_batch.restype = None
     lib.repro_hf_batch.argtypes = [
         _DOUBLE_P,  # draws
@@ -116,6 +231,7 @@ def _declare(lib: ctypes.CDLL) -> None:
         _DOUBLE_P,  # out
         ctypes.c_long,  # n_trials
         ctypes.c_long,  # n
+        ctypes.c_long,  # n_threads
     ]
     lib.repro_ba_batch.restype = ctypes.c_int
     lib.repro_ba_batch.argtypes = [
@@ -125,6 +241,7 @@ def _declare(lib: ctypes.CDLL) -> None:
         _DOUBLE_P,
         ctypes.c_long,
         ctypes.c_long,
+        ctypes.c_long,  # n_threads
     ]
     lib.repro_bahf_batch.restype = ctypes.c_int
     lib.repro_bahf_batch.argtypes = [
@@ -135,6 +252,7 @@ def _declare(lib: ctypes.CDLL) -> None:
         ctypes.c_long,
         ctypes.c_long,
         ctypes.c_double,  # threshold
+        ctypes.c_long,  # n_threads
     ]
     lib.repro_phf_metrics.restype = ctypes.c_int
     lib.repro_phf_metrics.argtypes = [
@@ -156,6 +274,7 @@ def _declare(lib: ctypes.CDLL) -> None:
         _LONG_P,  # ctrl
         _DOUBLE_P,  # maxw
         _LONG_P,  # status
+        ctypes.c_long,  # n_threads
     ]
 
 
@@ -167,7 +286,8 @@ def _build() -> Optional[ctypes.CDLL]:
     if compiler is None:
         _logger.warning("native kernels disabled: no system C compiler found")
         return None
-    cache_dir = _cache_dir(source, _compiler_version(compiler))
+    thread_mode = _threading_mode(compiler)
+    cache_dir = _cache_dir(source, _compiler_version(compiler), thread_mode)
     lib_path = os.path.join(cache_dir, _LIB_BASENAME)
     if os.path.exists(lib_path):
         _logger.debug("native kernel compile skipped: cache hit at %s", lib_path)
@@ -185,6 +305,7 @@ def _build() -> Optional[ctypes.CDLL]:
                     "-O2",
                     "-std=c99",
                     "-ffp-contract=off",
+                    *_THREAD_MODE_FLAGS[thread_mode],
                     "-shared",
                     "-fPIC",
                     "-o",
@@ -231,6 +352,48 @@ def native_available() -> bool:
     return _load() is not None
 
 
+def native_threading_mode() -> Optional[str]:
+    """Threading mode compiled into the loaded library, or ``None``.
+
+    One of ``"pthread"``, ``"openmp"``, ``"serial"`` (the library
+    reports what it was actually built with, not what was requested);
+    ``None`` when the native kernels are unavailable.
+    """
+    lib = _load()
+    if lib is None:
+        return None
+    return _THREAD_BACKEND_NAMES.get(int(lib.repro_threading_backend()))
+
+
+def resolve_n_threads(n_threads: Optional[int] = None) -> int:
+    """Resolve an ``n_threads`` knob to a concrete positive count.
+
+    An explicit integer wins; ``None`` consults ``REPRO_NATIVE_THREADS``
+    (a positive integer, or ``auto``/``0``/unset for
+    :func:`os.cpu_count`).  The count only affects how trial blocks are
+    sharded across threads, never the results -- kernels are
+    bit-identical for every value.
+    """
+    if n_threads is not None:
+        value = int(n_threads)
+        if value < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads!r}")
+        return value
+    raw = os.environ.get("REPRO_NATIVE_THREADS", "").strip().lower()
+    if raw in ("", "auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        value = -1
+    if value < 1:
+        raise ValueError(
+            "REPRO_NATIVE_THREADS must be a positive integer or 'auto', "
+            f"got {raw!r}"
+        )
+    return value
+
+
 def _as_c_inputs(
     w0: np.ndarray, draws: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray, int, int]:
@@ -249,13 +412,17 @@ def _lptr(arr: np.ndarray):
 
 
 def hf_batch_native(
-    w0: np.ndarray, n: int, draws: np.ndarray
+    w0: np.ndarray, n: int, draws: np.ndarray,
+    n_threads: Optional[int] = None,
 ) -> Optional[np.ndarray]:
     """Run the compiled HF kernel, or return ``None`` if unavailable.
 
     ``w0`` is the per-trial initial weight vector and ``draws`` the
     ``(n_trials, >= n-1)`` alpha-hat matrix; returns the ``(n_trials, n)``
     final-weight table (same multiset per row as the scalar loop).
+    ``n_threads`` shards trials across in-kernel threads (``None`` =
+    :func:`resolve_n_threads`); the result is bit-identical for every
+    count.
     """
     lib = _load()
     if lib is None:
@@ -269,12 +436,14 @@ def hf_batch_native(
         _dptr(out),
         ctypes.c_long(n_trials),
         ctypes.c_long(n),
+        ctypes.c_long(resolve_n_threads(n_threads)),
     )
     return out
 
 
 def ba_batch_native(
-    w0: np.ndarray, n: int, draws: np.ndarray
+    w0: np.ndarray, n: int, draws: np.ndarray,
+    n_threads: Optional[int] = None,
 ) -> Optional[np.ndarray]:
     """Run the compiled BA kernel, or return ``None`` if unavailable.
 
@@ -294,6 +463,7 @@ def ba_batch_native(
         _dptr(out),
         ctypes.c_long(n_trials),
         ctypes.c_long(n),
+        ctypes.c_long(resolve_n_threads(n_threads)),
     )
     if rc != 0:
         return None
@@ -301,7 +471,8 @@ def ba_batch_native(
 
 
 def bahf_batch_native(
-    w0: np.ndarray, n: int, draws: np.ndarray, threshold: float
+    w0: np.ndarray, n: int, draws: np.ndarray, threshold: float,
+    n_threads: Optional[int] = None,
 ) -> Optional[np.ndarray]:
     """Run the compiled BA-HF kernel, or return ``None`` if unavailable.
 
@@ -321,6 +492,7 @@ def bahf_batch_native(
         ctypes.c_long(n_trials),
         ctypes.c_long(n),
         ctypes.c_double(threshold),
+        ctypes.c_long(resolve_n_threads(n_threads)),
     )
     if rc != 0:
         return None
@@ -339,6 +511,7 @@ def phf_metrics_native(
     t_acquire: float,
     t_send: float,
     collective: float,
+    n_threads: Optional[int] = None,
 ) -> Optional[
     Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 ]:
@@ -382,6 +555,7 @@ def phf_metrics_native(
         _lptr(ctrl),
         _dptr(maxw),
         _lptr(status),
+        ctypes.c_long(resolve_n_threads(n_threads)),
     )
     if rc != 0:
         return None

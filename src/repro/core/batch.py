@@ -238,6 +238,7 @@ def hf_final_weights_batch(
     alpha_draws,
     *,
     method: str = "auto",
+    n_threads: Optional[int] = None,
 ) -> np.ndarray:
     """Batched :func:`~repro.core.hf.hf_final_weights`.
 
@@ -253,6 +254,9 @@ def hf_final_weights_batch(
     compiled C heap above (falling back to the NumPy heap when no system
     compiler is available -- see :mod:`repro.core._native`); asking for
     ``"native"`` explicitly raises if the compiled kernel is unavailable.
+    ``n_threads`` shards the native kernel's trials across in-kernel
+    threads (``None`` defers to ``REPRO_NATIVE_THREADS`` / auto); results
+    are bit-identical for every count, and the NumPy paths ignore it.
     """
     if n_processors < 1:
         raise ValueError(f"n_processors must be >= 1, got {n_processors}")
@@ -261,7 +265,7 @@ def hf_final_weights_batch(
     if n_processors == 1:
         return w0[:, None].copy()
     if method == "auto":
-        out = _native.hf_batch_native(w0, n_processors, draws)
+        out = _native.hf_batch_native(w0, n_processors, draws, n_threads)
         if out is not None:
             return out
         method = "frontier" if n_processors < HEAP_MIN_N else "heap"
@@ -270,7 +274,7 @@ def hf_final_weights_batch(
     if method == "heap":
         return _hf_heap(w0, n_processors, draws)
     if method == "native":
-        out = _native.hf_batch_native(w0, n_processors, draws)
+        out = _native.hf_batch_native(w0, n_processors, draws, n_threads)
         if out is None:
             raise RuntimeError(
                 "compiled HF kernel unavailable (no system C compiler, the "
@@ -346,6 +350,7 @@ def ba_final_weights_batch(
     alpha_draws,
     *,
     method: str = "auto",
+    n_threads: Optional[int] = None,
 ) -> np.ndarray:
     """Batched :func:`~repro.core.ba.ba_final_weights` (no skip threshold).
 
@@ -359,7 +364,9 @@ def ba_final_weights_batch(
     prefers the compiled C recursion (see :mod:`repro.core._native`) and
     falls back to the NumPy level-order frontier when no system compiler
     is available; asking for ``"native"`` explicitly raises if the
-    compiled kernel is unavailable.
+    compiled kernel is unavailable.  ``n_threads`` is the native kernel's
+    in-kernel thread count (bit-identical for every value; ignored by the
+    NumPy path).
     """
     if n_processors < 1:
         raise ValueError(f"n_processors must be >= 1, got {n_processors}")
@@ -373,7 +380,7 @@ def ba_final_weights_batch(
     if n_processors == 1:
         return w0[:, None].copy()
     if method in ("auto", "native"):
-        out = _native.ba_batch_native(w0, n_processors, draws)
+        out = _native.ba_batch_native(w0, n_processors, draws, n_threads)
         if out is not None:
             return out
         if method == "native":
@@ -415,6 +422,7 @@ def bahf_final_weights_batch(
     lam: float = 1.0,
     method: str = "auto",
     hf_method: str = "auto",
+    n_threads: Optional[int] = None,
 ) -> np.ndarray:
     """Batched :func:`~repro.core.bahf.bahf_final_weights`.
 
@@ -431,6 +439,9 @@ def bahf_final_weights_batch(
     when no system compiler is available; asking for ``"native"``
     explicitly raises if the compiled kernel is unavailable.
     ``hf_method`` selects the kernel for the NumPy path's HF sub-jobs.
+    ``n_threads`` is the native kernel's in-kernel thread count
+    (bit-identical for every value; forwarded to native HF sub-jobs on
+    the NumPy path).
     """
     if n_processors < 1:
         raise ValueError(f"n_processors must be >= 1, got {n_processors}")
@@ -445,7 +456,9 @@ def bahf_final_weights_batch(
     if n_processors == 1:
         return w0[:, None].copy()
     if method in ("auto", "native"):
-        out = _native.bahf_batch_native(w0, n_processors, draws, threshold)
+        out = _native.bahf_batch_native(
+            w0, n_processors, draws, threshold, n_threads
+        )
         if out is not None:
             return out
         if method == "native":
@@ -500,7 +513,8 @@ def bahf_final_weights_batch(
             g_off = job_off[group]
             g_draws = draws[g_trial[:, None], g_off[:, None] + np.arange(sub_n - 1)]
             sub = hf_final_weights_batch(
-                job_w[group], int(sub_n), g_draws, method=hf_method
+                job_w[group], int(sub_n), g_draws,
+                method=hf_method, n_threads=n_threads,
             )
             leaf_trials.append(np.repeat(g_trial, int(sub_n)))
             leaf_weights.append(sub.ravel())

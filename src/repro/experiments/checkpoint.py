@@ -32,7 +32,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -216,6 +220,7 @@ def execute_chunks(
     decode: Optional[Callable[[Any], Any]] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
+    backend: str = "processes",
 ) -> List[Any]:
     """Run ``worker`` over ``tasks``; returns results in task order.
 
@@ -223,19 +228,30 @@ def execute_chunks(
       executed -- their results are decoded from the journal payloads
       (bit-exact: payloads are produced by ``encode`` and JSON floats
       round-trip);
-    * fresh chunks run on a ``ProcessPoolExecutor`` when ``n_jobs > 1``;
-      a chunk whose worker exceeds ``timeout`` seconds, dies with the
-      pool, or raises, is retried *in the parent process* up to
-      ``retries`` times (workers are pure functions, so re-running one
-      is bit-safe);
+    * fresh chunks run on a pool when ``n_jobs > 1``: a
+      ``ProcessPoolExecutor`` for ``backend="processes"`` or a
+      ``ThreadPoolExecutor`` for ``backend="threads"`` (the hot loops
+      release the GIL inside the native kernels, so threads parallelise
+      without pickling).  A chunk whose worker exceeds ``timeout``
+      seconds, dies with the pool, or raises, is retried *in the parent*
+      up to ``retries`` times (workers are pure functions, so re-running
+      one is bit-safe);
     * every freshly computed chunk is journaled before its result is
       returned, so a crash at any point loses at most the in-flight
       chunks.
+
+    Results are bit-identical across backends and worker counts: the
+    task list, chunk layout, and merge order are fixed by the caller
+    before any pool exists.
     """
     if len(keys) != len(tasks):
         raise ValueError(f"{len(tasks)} tasks but {len(keys)} keys")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if backend not in ("processes", "threads"):
+        raise ValueError(
+            f"unknown backend {backend!r} (use 'processes' or 'threads')"
+        )
     if encode is None:
         encode = lambda result: result  # noqa: E731 - identity codec
     if decode is None:
@@ -255,7 +271,10 @@ def execute_chunks(
         results[idx] = result
 
     if n_jobs > 1 and len(pending) > 1:
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        if backend == "threads":
+            pool: Any = ThreadPoolExecutor(max_workers=n_jobs)
+        else:
+            pool = ProcessPoolExecutor(max_workers=n_jobs)
         abandoned = False
         try:
             futures = {idx: pool.submit(worker, tasks[idx]) for idx in pending}

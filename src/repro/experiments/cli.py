@@ -2,7 +2,8 @@
 
 Usage (installed as ``repro-experiments``, or ``python -m repro.experiments``):
 
-    repro-experiments table1   [--trials T] [--max-n N] [--jobs J] [--csv F]
+    repro-experiments table1   [--trials T] [--max-n N] [--jobs J]
+                               [--backend processes|threads] [--csv F]
     repro-experiments figure5  [--trials T] [--max-n N] [--jobs J] [--csv F]
     repro-experiments lambda   [--trials T] [--max-n N] [--jobs J]
     repro-experiments variance [--trials T] [--max-n N] [--jobs J]
@@ -27,6 +28,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.experiments.config import (
+    BACKENDS,
     DEFAULT_N_VALUES,
     ENGINES,
     PAPER_N_VALUES,
@@ -134,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-n", type=int, default=None, help="largest processor count"
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="processes",
+        help=(
+            "parallel backend for --jobs > 1 on the chunked runners "
+            "(table1/figure5/runtime/topology): worker processes "
+            "('processes', default) or an in-process thread pool "
+            "('threads'; the native kernels release the GIL).  Results "
+            "are bit-identical either way"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=20260706)
     parser.add_argument(
         "--engine",
@@ -250,12 +264,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         journal_kw = {"journal_path": args.journal, "resume": args.resume}
 
     if args.experiment in ("table1", "all"):
-        result = run_table1(**kw, **journal_kw)
+        result = run_table1(**kw, backend=args.backend, **journal_kw)
         outputs.append(render_table1(result))
         csv_payload = sweep_to_csv(result)
         json_sweep = result
     if args.experiment in ("figure5", "all"):
-        result = run_figure5(**kw, **(journal_kw if args.experiment == "figure5" else {}))
+        result = run_figure5(
+            **kw,
+            backend=args.backend,
+            **(journal_kw if args.experiment == "figure5" else {}),
+        )
         outputs.append(render_figure5(result))
         if args.experiment == "figure5":
             csv_payload = sweep_to_csv(result)
@@ -285,6 +303,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     seed=args.seed,
                     engine=args.engine,
                     n_jobs=args.jobs,
+                    backend=args.backend,
                 )
             )
         )
@@ -329,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     seed=args.seed,
                     engine=args.engine,
                     n_jobs=args.jobs,
+                    backend=args.backend,
                 )
             )
         )

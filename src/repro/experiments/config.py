@@ -22,9 +22,11 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_CHUNK_RETRIES",
     "DEFAULT_STUDY_CHUNK_SIZE",
+    "BACKENDS",
     "ENGINES",
     "StochasticConfig",
     "full_scale_requested",
+    "normalize_backend",
     "normalize_engine",
 ]
 
@@ -59,6 +61,26 @@ def normalize_engine(engine: str) -> str:
     key = engine.lower()
     if key not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (known: {list(ENGINES)})")
+    return key
+
+
+#: Parallel execution backends for the chunked runners.  ``"processes"``
+#: fans chunks out over a ProcessPoolExecutor (pickled task tuples,
+#: shared-memory draw blocks); ``"threads"`` runs chunks on a thread
+#: pool in-process -- the hot loops are ctypes calls into the native
+#: kernels, which release the GIL, so threads scale without pickling or
+#: shm plumbing.  Chunk layout and merge order depend only on the
+#: config, so both backends (and serial) produce bit-identical results
+#: and share journal fingerprints (a journal written under one backend
+#: resumes under the other).
+BACKENDS: Tuple[str, ...] = ("processes", "threads")
+
+
+def normalize_backend(backend: str) -> str:
+    """Canonical backend key; raises on unknown names."""
+    key = backend.lower()
+    if key not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (known: {list(BACKENDS)})")
     return key
 
 #: The paper's processor counts: N = 2^k for k = 5..20.

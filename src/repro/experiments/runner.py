@@ -28,6 +28,14 @@ re-sampling the chunked design otherwise pays.  The block is pure
 transport: rows equal what each chunk would have sampled for itself, so
 results are bit-identical with or without it (budget exhaustion, platform
 refusal and ``n_jobs == 1`` all fall back to per-chunk sampling).
+
+``backend="threads"`` swaps the process pool for an in-process thread
+pool: chunk workers call the native kernels through ctypes (which
+releases the GIL), so no pickling or shared-memory publish is needed --
+each cell's matrix is sampled once in the parent and sliced by
+reference.  The chunk layout, seeds, and merge order are identical, so
+the records are bit-identical to ``backend="processes"`` and to serial,
+and journals are interchangeable between backends.
 """
 
 from __future__ import annotations
@@ -42,7 +50,11 @@ from repro.core.bounds import bound_for
 from repro.core.metrics import RatioAccumulator, RatioSample, summarize_ratios
 from repro.experiments import shm
 from repro.experiments.checkpoint import ChunkJournal, execute_chunks
-from repro.experiments.config import DEFAULT_CHUNK_RETRIES, StochasticConfig
+from repro.experiments.config import (
+    DEFAULT_CHUNK_RETRIES,
+    StochasticConfig,
+    normalize_backend,
+)
 from repro.experiments.stochastic import _trial_factory, trial_ratios
 from repro.problems.samplers import AlphaSampler
 
@@ -139,20 +151,29 @@ def chunk_bounds(n_trials: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 
 def _run_chunk(
-    args: Tuple[str, int, AlphaSampler, int, int, int, float, Optional[shm.DrawSpec]]
+    args: Tuple[
+        str, int, AlphaSampler, int, int, int, float, Any, Optional[int]
+    ]
 ) -> Tuple[str, int, int, RatioAccumulator]:
     """Worker: one trial chunk of one (algorithm, N) cell (picklable).
 
-    ``spec`` optionally names the cell's shared-memory draw block; the
-    worker maps its ``[start:stop)`` row-slice zero-copy, and falls back
-    to sampling its own rows when the block cannot be attached (results
-    are bit-identical either way -- see :mod:`repro.experiments.shm`).
-    Returns the chunk's summary accumulator, not its ratio array, so the
-    parent's memory stays O(cells x chunks) regardless of n_trials.
+    ``spec`` optionally carries the cell's draw block: a
+    :class:`~repro.experiments.shm.DrawSpec` naming a shared-memory
+    block (process backend; mapped zero-copy) or the cell's ndarray
+    itself (threads backend; sliced by reference).  Either way the
+    worker takes its ``[start:stop)`` row-slice and falls back to
+    sampling its own rows when no block is usable -- results are
+    bit-identical in all three cases.  ``n_threads`` caps the native
+    kernels' in-kernel threading (pool runs pin it to 1 so worker-level
+    and kernel-level parallelism don't multiply).  Returns the chunk's
+    summary accumulator, not its ratio array, so the parent's memory
+    stays O(cells x chunks) regardless of n_trials.
     """
-    algorithm, n, sampler, start, stop, seed, lam, spec = args
+    algorithm, n, sampler, start, stop, seed, lam, spec, n_threads = args
     draws = None
-    if spec is not None:
+    if isinstance(spec, np.ndarray):
+        draws = spec[start:stop]
+    elif spec is not None:
         cell = shm.attached_draws(spec)
         if cell is not None:
             draws = cell[start:stop]
@@ -165,6 +186,7 @@ def _run_chunk(
         lam=lam,
         start=start,
         draws=draws,
+        n_threads=n_threads,
     )
     return algorithm, n, start, RatioAccumulator().update(ratios)
 
@@ -174,15 +196,22 @@ def _publish_cell_draws(
     chunks: Sequence[Tuple[int, int]],
     config: StochasticConfig,
     completed: Dict[str, Any],
-) -> Dict[Tuple[str, int], Tuple[Any, shm.DrawSpec]]:
-    """Sample + publish one draw block per cell that still has work.
+    *,
+    inline: bool = False,
+) -> Dict[Tuple[str, int], Tuple[Any, Any]]:
+    """Sample one draw block per cell that still has work.
 
-    Only worth doing when chunks run in other processes; cells whose
-    chunks are all journaled, whose matrices are empty (N = 1), or that
-    would blow the :func:`repro.experiments.shm.max_bytes` budget simply
-    get no block (their chunks sample for themselves).
+    Only worth doing when ``n_jobs > 1``; cells whose chunks are all
+    journaled, whose matrices are empty (N = 1), or that would blow the
+    :func:`repro.experiments.shm.max_bytes` budget simply get no block
+    (their chunks sample for themselves).  With ``inline=False``
+    (process backend) each matrix is published to shared memory and the
+    value is ``(block, DrawSpec)``; with ``inline=True`` (threads
+    backend -- workers share this address space) the matrix is kept
+    as-is and the value is ``(None, ndarray)``.  Same budget, same rows,
+    so results are bit-identical across transports.
     """
-    blocks: Dict[Tuple[str, int], Tuple[Any, shm.DrawSpec]] = {}
+    blocks: Dict[Tuple[str, int], Tuple[Any, Any]] = {}
     budget = shm.max_bytes()
     used = 0
     for algo, n in cells:
@@ -199,6 +228,10 @@ def _publish_cell_draws(
         factory = _trial_factory(algo, n, config.seed)
         rngs = [factory.generator_for(t) for t in range(config.n_trials)]
         draws = config.sampler.sample_trial_matrix(rngs, cols)
+        if inline:
+            blocks[(algo, n)] = (None, draws)
+            used += nbytes
+            continue
         published = shm.publish_draws(draws)
         if published is None:
             continue
@@ -254,6 +287,7 @@ def _decode_sweep_chunk(payload: Dict[str, Any]) -> Tuple[str, int, int, RatioAc
 def run_sweep(
     config: StochasticConfig,
     *,
+    backend: str = "processes",
     journal_path: Optional["str | os.PathLike[str]"] = None,
     resume: bool = False,
     chunk_timeout: Optional[float] = None,
@@ -261,15 +295,24 @@ def run_sweep(
 ) -> SweepResult:
     """Evaluate every (algorithm, N) cell of ``config``.
 
+    ``backend`` selects how parallel chunks execute when
+    ``config.n_jobs > 1``: ``"processes"`` (the default process pool
+    with shared-memory draw blocks) or ``"threads"`` (a GIL-free thread
+    pool over the native kernels -- no pickling, no shm; see
+    :data:`~repro.experiments.config.BACKENDS`).  Records are
+    bit-identical across backends and worker counts.
+
     ``journal_path`` enables crash-safe execution: each completed trial
     chunk is durably appended to a JSONL journal, and ``resume=True``
     replays completed chunks from an existing journal instead of
-    recomputing them -- bit-identically, for any ``n_jobs`` (see
+    recomputing them -- bit-identically, for any ``n_jobs`` *and either
+    backend* (the fingerprint covers neither -- see
     :mod:`repro.experiments.checkpoint`).  ``chunk_timeout`` bounds one
-    chunk's wall time in a worker process; a timed-out (or crashed)
-    chunk is recomputed in the parent with up to ``chunk_retries``
-    retries (default :data:`~repro.experiments.config.DEFAULT_CHUNK_RETRIES`).
+    chunk's wall time in a worker; a timed-out (or crashed) chunk is
+    recomputed in the parent with up to ``chunk_retries`` retries
+    (default :data:`~repro.experiments.config.DEFAULT_CHUNK_RETRIES`).
     """
+    backend = normalize_backend(backend)
     chunks = chunk_bounds(config.n_trials, config.effective_chunk_size)
     cells = [
         (algo, n) for algo in config.algorithms for n in config.n_values
@@ -287,7 +330,11 @@ def run_sweep(
         if journal_path is not None
         else None
     )
-    blocks: Dict[Tuple[str, int], Tuple[Any, shm.DrawSpec]] = {}
+    # Pool runs pin the kernels to one thread per chunk worker (worker- and
+    # kernel-level parallelism must not multiply); serial runs let the
+    # kernels thread internally (REPRO_NATIVE_THREADS / auto).
+    task_threads = 1 if config.n_jobs > 1 else None
+    blocks: Dict[Tuple[str, int], Tuple[Any, Any]] = {}
     try:
         if config.n_jobs > 1:
             blocks = _publish_cell_draws(
@@ -295,6 +342,7 @@ def run_sweep(
                 chunks,
                 config,
                 journal.completed if journal is not None else {},
+                inline=backend == "threads",
             )
         tasks = [
             (
@@ -306,6 +354,7 @@ def run_sweep(
                 config.seed,
                 config.lam,
                 blocks[(algo, n)][1] if (algo, n) in blocks else None,
+                task_threads,
             )
             for algo, n in cells
             for start, stop in chunks
@@ -320,10 +369,12 @@ def run_sweep(
             decode=_decode_sweep_chunk,
             timeout=chunk_timeout,
             retries=retries,
+            backend=backend,
         )
     finally:
         for block, _ in blocks.values():
-            shm.release_draws(block)
+            if block is not None:
+                shm.release_draws(block)
         if journal is not None:
             journal.close()
 

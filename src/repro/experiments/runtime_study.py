@@ -48,6 +48,7 @@ from repro.experiments.checkpoint import ChunkJournal, execute_chunks
 from repro.experiments.config import (
     DEFAULT_CHUNK_RETRIES,
     DEFAULT_STUDY_CHUNK_SIZE,
+    normalize_backend,
     normalize_engine,
 )
 from repro.experiments.runner import chunk_bounds
@@ -153,6 +154,7 @@ def study_trial_metrics(
     config: Optional[MachineConfig] = None,
     engine: str = "fastpath",
     draws: Optional[np.ndarray] = None,
+    n_threads: Optional[int] = None,
 ) -> np.ndarray:
     """Machine metrics for trials ``start .. start + n_trials - 1``.
 
@@ -167,6 +169,10 @@ def study_trial_metrics(
     it must equal what the cell's trial factory would sample for the
     same range.  Non-central PHF phase 1 samples lazily and cannot take
     a prescription matrix.
+
+    ``n_threads`` is forwarded to the fastpath's native kernels
+    (in-kernel trial-block threading; bit-identical for every count).
+    The DES engine ignores it.
     """
     key = normalize_algorithm(algorithm)
     engine = normalize_engine(engine)
@@ -189,7 +195,8 @@ def study_trial_metrics(
 
     if engine == "fastpath" and fastpath_supported(key, config, phase1=phf_phase1):
         fp = fastpath_counters(
-            key, n, draws, alpha=alpha, lam=lam, phase1=phf_phase1, config=config
+            key, n, draws, alpha=alpha, lam=lam, phase1=phf_phase1,
+            config=config, n_threads=n_threads,
         )
         return np.column_stack(
             [
@@ -234,10 +241,13 @@ def study_trial_metrics(
 def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
     """Worker: one trial chunk of one study cell (picklable).
 
-    ``spec`` optionally names the cell's shared-memory draw block (keyed
-    by the normalized algorithm and N, so cells differing only in
-    machine config share one block); attach failure falls back to
-    per-chunk sampling, bit-identically.
+    ``spec`` optionally carries the cell's draw block, keyed by the
+    normalized algorithm and N so cells differing only in machine config
+    share one: a :class:`~repro.experiments.shm.DrawSpec` naming a
+    shared-memory block (process backend) or the ndarray itself (threads
+    backend).  Attach failure falls back to per-chunk sampling,
+    bit-identically.  ``n_threads`` caps the native kernels' in-kernel
+    threading (pool runs pin it to 1).
     """
     (
         cell_key,
@@ -252,9 +262,12 @@ def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
         config,
         engine,
         spec,
+        n_threads,
     ) = args
     draws = None
-    if spec is not None:
+    if isinstance(spec, np.ndarray):
+        draws = spec[start:stop]
+    elif spec is not None:
         cell = shm.attached_draws(spec)
         if cell is not None:
             draws = cell[start:stop]
@@ -270,6 +283,7 @@ def _study_chunk(args) -> Tuple[Hashable, int, np.ndarray]:
         config=config,
         engine=engine,
         draws=draws,
+        n_threads=n_threads,
     )
     return cell_key, start, matrix
 
@@ -327,6 +341,7 @@ def run_study_cells(
     engine: str = "fastpath",
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    backend: str = "processes",
     journal_path: Optional["str | os.PathLike[str]"] = None,
     resume: bool = False,
     chunk_timeout: Optional[float] = None,
@@ -336,17 +351,23 @@ def run_study_cells(
 
     ``cells`` holds ``(cell_key, algorithm, n_processors, config)``
     tuples.  Each cell's trial range is split into ``chunk_size`` work
-    units scheduled over a ``ProcessPoolExecutor`` when ``n_jobs > 1``;
-    chunk matrices are concatenated in chunk-start order, so the
-    returned ``(n_trials, len(METRIC_COLUMNS))`` matrices are
-    bit-identical for any worker count.
+    units scheduled over a pool when ``n_jobs > 1`` -- a process pool
+    for ``backend="processes"``, an in-process thread pool over the
+    GIL-releasing native kernels for ``backend="threads"`` (see
+    :data:`~repro.experiments.config.BACKENDS`); chunk matrices are
+    concatenated in chunk-start order, so the returned
+    ``(n_trials, len(METRIC_COLUMNS))`` matrices are bit-identical for
+    any worker count and either backend.
 
     ``journal_path``/``resume``/``chunk_timeout``/``chunk_retries``
     enable the crash-safe execution mode of
     :mod:`repro.experiments.checkpoint`: completed chunks are durably
-    journaled and a resumed run replays them bit-identically.
+    journaled and a resumed run replays them bit-identically -- the
+    fingerprint covers neither ``n_jobs`` nor ``backend``, so a journal
+    written under one backend resumes under the other.
     """
     engine = normalize_engine(engine)
+    backend = normalize_backend(backend)
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     size = chunk_size if chunk_size is not None else DEFAULT_STUDY_CHUNK_SIZE
@@ -407,13 +428,21 @@ def run_study_cells(
                     continue
                 fac = _trial_factory(akey, n, seed)
                 rngs = [fac.generator_for(t) for t in range(n_trials)]
-                published = shm.publish_draws(
-                    sampler.sample_trial_matrix(rngs, cols)
-                )
+                draws = sampler.sample_trial_matrix(rngs, cols)
+                if backend == "threads":
+                    # Workers share this address space: hand the matrix
+                    # over by reference instead of a shm publish.
+                    blocks[bkey] = (None, draws)
+                    used += nbytes
+                    continue
+                published = shm.publish_draws(draws)
                 if published is None:
                     continue
                 blocks[bkey] = published
                 used += nbytes
+        # Pool runs pin the kernels to one thread per chunk worker;
+        # serial runs let them thread internally (REPRO_NATIVE_THREADS).
+        task_threads = 1 if n_jobs > 1 else None
         tasks = [
             (
                 cell_key,
@@ -430,6 +459,7 @@ def run_study_cells(
                 blocks[(normalize_algorithm(algo), n)][1]
                 if (normalize_algorithm(algo), n) in blocks
                 else None,
+                task_threads,
             )
             for cell_key, algo, n, config in cells
             for start, stop in chunks
@@ -444,10 +474,12 @@ def run_study_cells(
             decode=None,
             timeout=chunk_timeout,
             retries=retries,
+            backend=backend,
         )
     finally:
         for block, _ in blocks.values():
-            shm.release_draws(block)
+            if block is not None:
+                shm.release_draws(block)
         if journal is not None:
             journal.close()
     # Journal payloads come back as plain dicts; rebuild the worker's
@@ -496,15 +528,16 @@ def run_runtime_study(
     engine: str = "fastpath",
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    backend: str = "processes",
 ) -> RuntimeStudyResult:
     """Evaluate each algorithm on ``n_repeats`` random instances per N.
 
     Reported values are means over the repeats (the machine is
     deterministic; only the problem instance varies).  ``engine``,
-    ``n_jobs`` and ``chunk_size`` select the evaluation engine and the
-    trial-chunked parallel schedule; none of them changes the numbers
-    (the fastpath is bit-identical to the DES, and the chunk merge order
-    is fixed).
+    ``n_jobs``, ``chunk_size`` and ``backend`` select the evaluation
+    engine and the trial-chunked parallel schedule; none of them changes
+    the numbers (the fastpath is bit-identical to the DES, and the chunk
+    merge order is fixed).
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
@@ -523,6 +556,7 @@ def run_runtime_study(
         engine=engine,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
+        backend=backend,
     )
     records: List[RuntimeRecord] = []
     for n in n_values:

@@ -162,6 +162,7 @@ def trial_ratios(
     start: int = 0,
     use_batch: bool = True,
     draws: Optional[np.ndarray] = None,
+    n_threads: Optional[int] = None,
 ) -> np.ndarray:
     """Trial ratios for trials ``start .. start + n_trials - 1``.
 
@@ -183,6 +184,10 @@ def trial_ratios(
     what ``sampler.sample_trial_matrix`` would produce for the same
     trial range, which holds whenever it was derived from the same
     ``(seed, algorithm, n_processors)`` factory.  Batch-only.
+
+    ``n_threads`` is forwarded to the native kernels' in-kernel trial
+    sharding (:func:`repro.core._native.resolve_n_threads`); ratios are
+    bit-identical for every count, and the scalar/NumPy paths ignore it.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
@@ -210,12 +215,17 @@ def trial_ratios(
             f"draws has {draws.shape[0]} rows for {n_trials} trials"
         )
     if key in ("hf", "phf"):
-        weights = hf_final_weights_batch(1.0, n_processors, draws)
+        weights = hf_final_weights_batch(
+            1.0, n_processors, draws, n_threads=n_threads
+        )
     elif key == "ba":
-        weights = ba_final_weights_batch(1.0, n_processors, draws)
+        weights = ba_final_weights_batch(
+            1.0, n_processors, draws, n_threads=n_threads
+        )
     else:
         weights = bahf_final_weights_batch(
-            1.0, n_processors, draws, alpha=sampler.alpha, lam=lam
+            1.0, n_processors, draws,
+            alpha=sampler.alpha, lam=lam, n_threads=n_threads,
         )
     return weights.max(axis=1) * n_processors
 

@@ -185,8 +185,13 @@ def fastpath_hf(
     *,
     config: Optional[MachineConfig] = None,
     initial_weight: float = 1.0,
+    n_threads: Optional[int] = None,
 ) -> FastpathResult:
-    """Sequential HF: P_1 bisects ``N-1`` times, then ships pieces 2..N."""
+    """Sequential HF: P_1 bisects ``N-1`` times, then ships pieces 2..N.
+
+    ``n_threads`` shards the native ratio kernel's trials across
+    in-kernel threads (bit-identical for every count).
+    """
     config = config or MachineConfig()
     _require_supported("hf", config)
     n = n_processors
@@ -211,7 +216,7 @@ def fastpath_hf(
     # sum(work_time) = 0 + work_p1 + 0 + ... (adding 0.0 is exact)
     util = work_p1 / (n * makespan) if makespan > 0 else 0.0
 
-    weights = hf_final_weights_batch(w0, n, draws)
+    weights = hf_final_weights_batch(w0, n, draws, n_threads=n_threads)
     ratio = weights.max(axis=1) / (w0 / n)
     return FastpathResult(
         algorithm="hf",
@@ -240,6 +245,7 @@ def _ba_like(
     *,
     threshold: Optional[float],
     initial_weight: float,
+    n_threads: Optional[int] = None,
 ):
     """Shared BA / BA-HF sweep.
 
@@ -322,7 +328,9 @@ def _ba_like(
             continue
         cols = joff[sel][:, None] + np.arange(k_int - 1)
         g_draws = draws[jt[sel][:, None], cols]
-        weights = hf_final_weights_batch(g_w, k_int, g_draws)
+        weights = hf_final_weights_batch(
+            g_w, k_int, g_draws, n_threads=n_threads
+        )
         np.maximum.at(maxw, g_t, weights.max(axis=1))
 
     return makespan, maxw, hops_acc
@@ -336,11 +344,13 @@ def _ba_like_result(
     *,
     threshold: Optional[float],
     initial_weight: float,
+    n_threads: Optional[int] = None,
 ) -> FastpathResult:
     n_trials = draws.shape[0]
     w0 = float(initial_weight)
     makespan, maxw, hops_acc = _ba_like(
-        n, draws, config, threshold=threshold, initial_weight=w0
+        n, draws, config,
+        threshold=threshold, initial_weight=w0, n_threads=n_threads,
     )
     work_total = (n - 1) * config.t_bisect
     return FastpathResult(
@@ -364,6 +374,7 @@ def fastpath_ba(
     *,
     config: Optional[MachineConfig] = None,
     initial_weight: float = 1.0,
+    n_threads: Optional[int] = None,
 ) -> FastpathResult:
     """BA: communication-free recursion, both children start after the send."""
     config = config or MachineConfig()
@@ -371,7 +382,7 @@ def fastpath_ba(
     draws = _as_draw_matrix(alpha_draws, max(0, n_processors - 1))
     return _ba_like_result(
         "ba", n_processors, draws, config,
-        threshold=None, initial_weight=initial_weight,
+        threshold=None, initial_weight=initial_weight, n_threads=n_threads,
     )
 
 
@@ -383,6 +394,7 @@ def fastpath_bahf(
     lam: float = 1.0,
     config: Optional[MachineConfig] = None,
     initial_weight: float = 1.0,
+    n_threads: Optional[int] = None,
 ) -> FastpathResult:
     """BA-HF: BA recursion down to ``λ/α + 1``, sequential HF jobs below."""
     config = config or MachineConfig()
@@ -392,6 +404,7 @@ def fastpath_bahf(
     return _ba_like_result(
         "bahf", n_processors, draws, config,
         threshold=bahf_threshold(alpha, lam), initial_weight=initial_weight,
+        n_threads=n_threads,
     )
 
 
@@ -642,8 +655,14 @@ def fastpath_phf(
     keep: str = "heavy",
     config: Optional[MachineConfig] = None,
     initial_weight: float = 1.0,
+    n_threads: Optional[int] = None,
 ) -> FastpathResult:
-    """PHF with the idealised central phase 1 on the complete network."""
+    """PHF with the idealised central phase 1 on the complete network.
+
+    ``n_threads`` shards the compiled metrics kernel's trials across
+    in-kernel threads (bit-identical for every count); the NumPy and
+    topology paths ignore it.
+    """
     config = config or MachineConfig()
     _require_supported("phf", config)
     alpha = check_alpha(alpha)
@@ -672,6 +691,7 @@ def fastpath_phf(
         t_acquire=t_a,
         t_send=t_s,
         collective=c,
+        n_threads=n_threads,
     )
     if native is not None:
         makespan, coll_time, coll_n, ctrl, maxw, status = native
@@ -878,23 +898,29 @@ def fastpath_counters(
     phase1: str = "central",
     config: Optional[MachineConfig] = None,
     initial_weight: float = 1.0,
+    n_threads: Optional[int] = None,
 ) -> FastpathResult:
     """Batched machine metrics for one algorithm over a draw matrix.
 
     ``alpha`` is required for ``phf`` and ``bahf``.  Raises
     :class:`FastpathUnsupported` for cells only the DES can evaluate
-    (see :func:`fastpath_supported`).
+    (see :func:`fastpath_supported`).  ``n_threads`` is the native
+    kernels' in-kernel trial-block thread count (``None`` defers to
+    ``REPRO_NATIVE_THREADS`` / auto); metrics are bit-identical for
+    every count, and pure-NumPy paths ignore it.
     """
     key = algorithm.lower().replace("-", "").replace("_", "")
     config = config or MachineConfig()
     _require_supported(key, config, phase1=phase1)
     if key == "hf":
         return fastpath_hf(
-            n_processors, alpha_draws, config=config, initial_weight=initial_weight
+            n_processors, alpha_draws, config=config,
+            initial_weight=initial_weight, n_threads=n_threads,
         )
     if key == "ba":
         return fastpath_ba(
-            n_processors, alpha_draws, config=config, initial_weight=initial_weight
+            n_processors, alpha_draws, config=config,
+            initial_weight=initial_weight, n_threads=n_threads,
         )
     if key == "bahf":
         if alpha is None:
@@ -906,6 +932,7 @@ def fastpath_counters(
             lam=lam,
             config=config,
             initial_weight=initial_weight,
+            n_threads=n_threads,
         )
     if alpha is None:
         raise ValueError("phf fastpath needs alpha")
@@ -916,4 +943,5 @@ def fastpath_counters(
         keep=keep,
         config=config,
         initial_weight=initial_weight,
+        n_threads=n_threads,
     )

@@ -648,6 +648,7 @@ class TestR110FfiPrototype:
             "repro_ba_batch",
             "repro_bahf_batch",
             "repro_phf_metrics",
+            "repro_threading_backend",
         }
         native = REPO_ROOT / "src/repro/core/_native.py"
         project = build_project({str(native): native.read_text()})

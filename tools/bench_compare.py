@@ -29,6 +29,7 @@ __all__ = [
     "iter_metrics",
     "load_artifact",
     "main",
+    "threading_warnings",
 ]
 
 #: Top-level keys that hold {name: {metric: value}} entry groups.
@@ -38,6 +39,13 @@ GROUP_KEYS = ("kernels", "algorithms", "entries")
 #: comparison (throughput numbers from different CPUs / interpreter /
 #: NumPy builds are not apples to apples).
 MACHINE_KEYS = ("cpu_model", "machine", "cpu_count", "python", "numpy")
+
+#: ``machine`` block fields describing the native kernels' threading
+#: context (compiled-in mode, effective in-kernel thread count).  When
+#: these disagree, a throughput drop says nothing about the code -- the
+#: two runs used different parallelism -- so gated regressions are
+#: demoted to warnings instead of failing the comparison.
+THREADING_KEYS = ("native_threading", "n_threads")
 
 #: Metrics gated by default (all higher-is-better rates).
 DEFAULT_METRICS = (
@@ -108,6 +116,32 @@ def compatibility_warnings(baseline: Dict, candidate: Dict) -> List[str]:
             warns.append(
                 f"cross-machine comparison: machine.{key} differs "
                 f"(baseline={old!r}, candidate={new!r})"
+            )
+    return warns
+
+
+def threading_warnings(baseline: Dict, candidate: Dict) -> List[str]:
+    """Mismatches in the artifacts' native-threading context.
+
+    Distinct from :func:`compatibility_warnings`: a cross-thread-count
+    comparison is not merely apples-to-oranges, it *invalidates* the
+    throughput gate (more or fewer kernel threads move every rate), so
+    callers demote gated regressions to warnings when this returns
+    anything.  Artifacts predating the threading fields compare as
+    ``None`` and do not trip the check against each other.
+    """
+    base_machine = baseline.get("machine")
+    cand_machine = candidate.get("machine")
+    if not isinstance(base_machine, dict) or not isinstance(cand_machine, dict):
+        return []
+    warns: List[str] = []
+    for key in THREADING_KEYS:
+        old, new = base_machine.get(key), cand_machine.get(key)
+        if old != new:
+            warns.append(
+                f"cross-thread-count comparison: machine.{key} differs "
+                f"(baseline={old!r}, candidate={new!r}); throughput "
+                "changes reflect the threading setup, not the code"
             )
     return warns
 
@@ -207,7 +241,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lines, regressions, warnings = compare_artifacts(
         baseline, candidate, metrics=metrics, threshold_pct=args.threshold
     )
-    warnings = compatibility_warnings(baseline, candidate) + warnings
+    thread_warns = threading_warnings(baseline, candidate)
+    if thread_warns and regressions:
+        # Different thread counts move every throughput metric; gating
+        # would punish the configuration, not the code.
+        warnings.append(
+            f"{len(regressions)} gated drop(s) demoted to warnings "
+            "(cross-thread-count comparison)"
+        )
+        warnings.extend(f"(not gated) {reg}" for reg in regressions)
+        regressions = []
+    warnings = compatibility_warnings(baseline, candidate) + thread_warns + warnings
     print(f"baseline : {args.baseline}")
     print(f"candidate: {args.candidate}")
     print(f"gated metrics (*): {', '.join(metrics) or '(none)'}")

@@ -68,12 +68,13 @@ for rec in clean:
     assert rec.degraded_fraction == 0.0, rec
 EOF
 
-echo "== smoke: journal truncate + resume bit-identity =="
+echo "== smoke: journal truncate + cross-backend resume bit-identity =="
 # Interrupt a journaled sweep (truncate the journal mid-state), resume
-# it, and require the merged result to match an uninterrupted run bit
-# for bit.
+# it under the *other* execution backend, and require the merged result
+# to match an uninterrupted serial run bit for bit.
 python - <<'EOF'
 import tempfile
+from dataclasses import replace
 from pathlib import Path
 
 from repro.experiments.config import StochasticConfig
@@ -83,13 +84,18 @@ config = StochasticConfig.paper_table1(
     n_trials=12, n_values=(4, 8), seed=11, chunk_size=4
 )
 plain = run_sweep(config)
+pooled = replace(config, n_jobs=2)
+threaded = run_sweep(pooled, backend="threads")
+assert threaded.records == plain.records, "threads backend is not bit-identical"
 with tempfile.TemporaryDirectory() as tmp:
     journal = Path(tmp) / "sweep.jsonl"
-    run_sweep(config, journal_path=journal)
+    run_sweep(pooled, backend="threads", journal_path=journal)
     lines = journal.read_text().splitlines(keepends=True)
     keep = 1 + (len(lines) - 1) // 2            # header + half the chunks
     journal.write_text("".join(lines[:keep]) + '{"kind": "chu')  # torn tail
-    resumed = run_sweep(config, journal_path=journal, resume=True)
+    resumed = run_sweep(
+        pooled, backend="processes", journal_path=journal, resume=True
+    )
 assert resumed.records == plain.records, "resume is not bit-identical"
 EOF
 
