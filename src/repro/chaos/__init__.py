@@ -1,0 +1,42 @@
+"""Deterministic OS-level chaos for the real experiment harness.
+
+Where :mod:`repro.resilience` injects faults into the *simulated*
+machines, this package injects them into the *actual* runs: SIGKILLed
+pool workers, hung chunks, transient exceptions, delayed results
+(:mod:`repro.chaos.plan` / :mod:`repro.chaos.injectors`), and torn
+journal/artifact writes that end the process at a chosen byte
+(:mod:`repro.chaos.crashpoints`).  All of it is bit-reproducible: fault
+schedules are pure functions of ``(config, keys, seed)`` drawn from
+SplitMix64 child streams, the same discipline every other random draw in
+the repo follows.
+
+The consumer is the supervised executor in
+:mod:`repro.experiments.checkpoint`, which accepts a
+:class:`ChaosSpec`/:class:`ChaosPlan` and must finish the run --
+bit-identically to the fault-free execution -- while a
+:class:`RunReport` accounts for every chunk.
+"""
+
+from repro.chaos.injectors import ChaosError, ChaosTransientError, chaos_call
+from repro.chaos.plan import (
+    CHAOS_PROFILES,
+    FAULT_KINDS,
+    ChaosConfig,
+    ChaosPlan,
+    ChaosSpec,
+    chaos_plan_for,
+)
+from repro.chaos.report import RunReport
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "FAULT_KINDS",
+    "ChaosConfig",
+    "ChaosPlan",
+    "ChaosSpec",
+    "ChaosError",
+    "ChaosTransientError",
+    "RunReport",
+    "chaos_call",
+    "chaos_plan_for",
+]

@@ -1,0 +1,151 @@
+"""Crash points: die (SIGKILL) at a chosen write inside a real run.
+
+The crash-consistency tests need to kill a *real* process at the worst
+possible byte -- mid-journal-append, between an artifact's temp-file
+write and its rename -- and then prove that a resumed run is
+bit-identical.  This module is the hook side of that harness: the
+journal and :func:`repro.experiments.io.write_atomic` call
+:func:`maybe_crash` / :func:`before_append` at their vulnerable points,
+and a test arms a :class:`CrashSpec` (programmatically, or via the
+``REPRO_CHAOS_CRASH`` environment variable for subprocess victims)
+naming the site, the hit count, and -- for appends -- how many bytes to
+tear off before dying.
+
+Disarmed (the default), every hook is a counter bump and a ``None``
+check; no run pays for the machinery it does not use.
+
+Spec syntax (env var or :func:`arm` string)::
+
+    journal-append:4:9      # 4th journal append: write 9 bytes, SIGKILL
+    journal-append:4        # 4th journal append: write nothing, SIGKILL
+    write-atomic-pre:1      # 1st write_atomic: die before the tmp write
+    write-atomic-post:1     # 1st write_atomic: die after fsync, before
+                            # the rename (the old artifact must survive)
+
+The process dies by sending **itself** SIGKILL -- no atexit handlers, no
+finally blocks, exactly the failure a power cut or OOM kill produces.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["CRASH_SITES", "CrashSpec", "arm", "disarm", "armed_spec", "maybe_crash", "before_append"]
+
+#: Hook sites wired into the repo's durable-write paths.
+CRASH_SITES = ("journal-append", "write-atomic-pre", "write-atomic-post")
+
+#: Environment variable a test harness sets before launching a victim.
+ENV_VAR = "REPRO_CHAOS_CRASH"
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Die at the ``hit``-th event of ``site`` (1-based).
+
+    ``offset`` only applies to ``journal-append``: the number of bytes
+    of the line to write (and fsync) before dying, producing a torn
+    line whose durability is real, not simulated.
+    """
+
+    site: str
+    hit: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in CRASH_SITES:
+            raise ValueError(
+                f"unknown crash site {self.site!r} (known: {list(CRASH_SITES)})"
+            )
+        if self.hit < 1:
+            raise ValueError(f"hit must be >= 1, got {self.hit}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset}")
+
+    @classmethod
+    def parse(cls, text: str) -> "CrashSpec":
+        parts = text.strip().split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"crash spec must be 'site:hit[:offset]', got {text!r}"
+            )
+        try:
+            hit = int(parts[1])
+            offset = int(parts[2]) if len(parts) == 3 else 0
+        except ValueError:
+            raise ValueError(
+                f"crash spec hit/offset must be integers, got {text!r}"
+            ) from None
+        return cls(site=parts[0], hit=hit, offset=offset)
+
+
+_spec: Optional[CrashSpec] = None
+_counts: Dict[str, int] = {}
+_env_checked = False
+
+
+def arm(spec: Union[str, CrashSpec]) -> CrashSpec:
+    """Arm a crash spec in this process (counters reset)."""
+    global _spec, _env_checked
+    if isinstance(spec, str):
+        spec = CrashSpec.parse(spec)
+    _spec = spec
+    _counts.clear()
+    _env_checked = True  # an explicit arm overrides the environment
+    return spec
+
+
+def disarm() -> None:
+    """Disarm; subsequent hooks are no-ops (env is not re-read)."""
+    global _spec, _env_checked
+    _spec = None
+    _counts.clear()
+    _env_checked = True
+
+
+def armed_spec() -> Optional[CrashSpec]:
+    """The active spec, loading ``REPRO_CHAOS_CRASH`` on first use."""
+    global _spec, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        text = os.environ.get(ENV_VAR, "").strip()
+        if text:
+            _spec = CrashSpec.parse(text)
+    return _spec
+
+
+def _crash_now() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(137)  # unreachable: SIGKILL cannot be caught
+
+
+def _hit(site: str) -> Optional[CrashSpec]:
+    spec = armed_spec()
+    if spec is None or spec.site != site:
+        return None
+    _counts[site] = _counts.get(site, 0) + 1
+    return spec if _counts[site] == spec.hit else None
+
+
+def maybe_crash(site: str) -> None:
+    """SIGKILL this process if the armed spec matches this event."""
+    if _hit(site) is not None:
+        _crash_now()
+
+
+def before_append(handle: Any, line: str) -> None:
+    """Journal-append hook: on a match, durably write ``offset`` bytes
+    of ``line`` (a *torn* record) and SIGKILL the process.  Otherwise a
+    no-op -- the caller writes the full line itself."""
+    spec = _hit("journal-append")
+    if spec is None:
+        return
+    torn = line[: spec.offset]
+    if torn:
+        handle.write(torn)
+        handle.flush()
+        os.fsync(handle.fileno())
+    _crash_now()

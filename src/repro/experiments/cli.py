@@ -18,7 +18,15 @@ Usage (installed as ``repro-experiments``, or ``python -m repro.experiments``):
 
 ``--journal FILE`` makes the table1/figure5 sweeps and the fault study
 crash-safe: completed trial chunks are durably appended to FILE and
-``--resume`` continues an interrupted run bit-identically.
+``--resume`` continues an interrupted run bit-identically.  ``journal
+verify|status|repair|compact FILE`` maintains such files (see
+:mod:`repro.experiments.journal_cli`).
+
+``--chaos-profile NAME [--chaos-seed S]`` injects a deterministic
+OS-level fault schedule (killed workers, hangs, transient errors,
+delays; see :mod:`repro.chaos`) into the table1/figure5 sweeps -- the
+supervised executor must still produce bit-identical results.  Off by
+default; only for testing the harness itself.
 """
 
 from __future__ import annotations
@@ -129,7 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
             "report",
             "all",
         ],
-        help="which artifact to regenerate",
+        help=(
+            "which artifact to regenerate ('journal verify|status|"
+            "repair|compact FILE' maintains chunk journals)"
+        ),
     )
     parser.add_argument("--trials", type=int, default=None, help="trials per cell")
     parser.add_argument(
@@ -217,7 +228,40 @@ def build_parser() -> argparse.ArgumentParser:
             "journal (bit-identical) and compute only the missing ones"
         ),
     )
+    parser.add_argument(
+        "--chaos-profile",
+        choices=sorted(_chaos_profile_names()),
+        default=None,
+        help=(
+            "inject a deterministic OS-level fault schedule into the "
+            "table1/figure5 sweep (kill/hang/transient/delay; for "
+            "testing the supervised executor -- results must stay "
+            "bit-identical)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault schedule (default 0)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "cancel the run gracefully after SECONDS (completed chunks "
+            "are flushed to the journal first; exit code 130)"
+        ),
+    )
     return parser
+
+
+def _chaos_profile_names() -> List[str]:
+    from repro.chaos import CHAOS_PROFILES
+
+    return list(CHAOS_PROFILES)
 
 
 def _grid(args: argparse.Namespace) -> tuple:
@@ -233,6 +277,12 @@ def _grid(args: argparse.Namespace) -> tuple:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "journal":
+        from repro.experiments.journal_cli import journal_main
+
+        return journal_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         from repro.experiments.report import generate_report
@@ -263,21 +313,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.journal and args.experiment in ("table1", "figure5", "fault"):
         journal_kw = {"journal_path": args.journal, "resume": args.resume}
 
-    if args.experiment in ("table1", "all"):
-        result = run_table1(**kw, backend=args.backend, **journal_kw)
-        outputs.append(render_table1(result))
-        csv_payload = sweep_to_csv(result)
-        json_sweep = result
-    if args.experiment in ("figure5", "all"):
-        result = run_figure5(
-            **kw,
-            backend=args.backend,
-            **(journal_kw if args.experiment == "figure5" else {}),
-        )
-        outputs.append(render_figure5(result))
-        if args.experiment == "figure5":
+    # --chaos-profile/--deadline drive the supervised executor on the
+    # sweep experiments; a RunReport collects the accounting either way.
+    supervise_kw = {}
+    run_report = None
+    if args.experiment in ("table1", "figure5"):
+        if args.chaos_profile is not None or args.deadline is not None:
+            from repro.chaos import CHAOS_PROFILES, ChaosSpec, RunReport
+
+            run_report = RunReport()
+            supervise_kw["report"] = run_report
+            if args.chaos_profile is not None:
+                supervise_kw["chaos"] = ChaosSpec(
+                    config=CHAOS_PROFILES[args.chaos_profile],
+                    seed=args.chaos_seed,
+                )
+            if args.deadline is not None:
+                supervise_kw["run_deadline"] = args.deadline
+                supervise_kw["cancel_on_sigterm"] = True
+
+    from repro.experiments.checkpoint import RunCancelledError
+
+    try:
+        if args.experiment in ("table1", "all"):
+            result = run_table1(
+                **kw,
+                backend=args.backend,
+                **journal_kw,
+                **(supervise_kw if args.experiment == "table1" else {}),
+            )
+            outputs.append(render_table1(result))
             csv_payload = sweep_to_csv(result)
             json_sweep = result
+        if args.experiment in ("figure5", "all"):
+            result = run_figure5(
+                **kw,
+                backend=args.backend,
+                **(journal_kw if args.experiment == "figure5" else {}),
+                **(supervise_kw if args.experiment == "figure5" else {}),
+            )
+            outputs.append(render_figure5(result))
+            if args.experiment == "figure5":
+                csv_payload = sweep_to_csv(result)
+                json_sweep = result
+    except RunCancelledError as exc:
+        print(f"run cancelled: {exc}", file=sys.stderr)
+        print(f"[run report] {exc.report.summary()}", file=sys.stderr)
+        if args.journal:
+            print(
+                f"[journal] completed chunks are in {args.journal}; "
+                "re-run with --resume to continue",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if run_report is not None and not run_report.cancelled:
+            print(f"[run report] {run_report.summary()}", file=sys.stderr)
     if args.experiment in ("lambda", "all"):
         outputs.append(render_lambda_study(run_lambda_study(**kw)))
     if args.experiment in ("variance", "all"):

@@ -22,6 +22,9 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_CHUNK_RETRIES",
     "DEFAULT_STUDY_CHUNK_SIZE",
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_BACKOFF_CAP",
+    "DEFAULT_POOL_REBUILDS",
     "BACKENDS",
     "ENGINES",
     "StochasticConfig",
@@ -46,6 +49,19 @@ DEFAULT_STUDY_CHUNK_SIZE = 64
 #: process up to this many additional times (workers are pure functions
 #: of their task tuple, so re-running one is bit-safe).
 DEFAULT_CHUNK_RETRIES = 2
+
+#: First-retry backoff (seconds) for a failed chunk attempt.  Retries
+#: wait ``min(cap, base * 2**(attempt-1))`` scaled by a deterministic
+#: per-key jitter in [0.5, 1.0), so chunks re-queued after one pool
+#: crash de-synchronise instead of stampeding the rebuilt pool.
+DEFAULT_BACKOFF_BASE = 0.1
+
+#: Ceiling (seconds) on any single retry backoff.
+DEFAULT_BACKOFF_CAP = 2.0
+
+#: How many times the supervised executor rebuilds a broken worker pool
+#: before degrading the rest of the run to in-parent execution.
+DEFAULT_POOL_REBUILDS = 2
 
 #: Evaluation engines for the machine-model studies.  ``"fastpath"``
 #: uses the closed-form batched kernels of

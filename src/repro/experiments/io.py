@@ -17,6 +17,7 @@ import tempfile
 from pathlib import Path
 from typing import Union
 
+from repro.chaos import crashpoints
 from repro.core.metrics import RatioSample
 from repro.experiments.config import StochasticConfig
 from repro.experiments.runner import SweepRecord, SweepResult
@@ -49,6 +50,11 @@ def write_atomic(path: Union[str, Path], text: str) -> Path:
     never outruns the data.
     """
     path = Path(path)
+    # crash-point hooks bracket the vulnerable window: "pre" dies before
+    # any byte is written, "post" dies after the fsync but before the
+    # rename -- the crash-consistency tests assert the old artifact
+    # survives both (see repro.chaos.crashpoints)
+    crashpoints.maybe_crash("write-atomic-pre")
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -57,6 +63,7 @@ def write_atomic(path: Union[str, Path], text: str) -> Path:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
+        crashpoints.maybe_crash("write-atomic-post")
         os.replace(tmp_name, path)
     except BaseException:
         try:

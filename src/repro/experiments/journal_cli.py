@@ -1,0 +1,107 @@
+"""``python -m repro.experiments journal ...`` -- journal maintenance.
+
+Subcommands over a chunk journal written by
+:class:`repro.experiments.checkpoint.ChunkJournal`:
+
+* ``verify FILE``  -- exit 0 iff the loader would accept the file
+  (a torn trailing line is acceptance: that is the crash contract);
+  corruption is reported per line with its reason;
+* ``status FILE``  -- human-readable summary (format, fingerprint
+  digest, chunk/key counts, issues) without a verdict exit code;
+* ``repair FILE``  -- atomically rewrite the file without corrupt
+  lines, duplicate keys, or a torn tail (format preserved);
+* ``compact FILE`` -- repair *and* upgrade to the current format
+  (adds per-line CRC32 checksums to format-1 files).
+
+``verify`` intentionally does not check the fingerprint against any
+configuration -- it validates file integrity; fingerprint matching is
+the resume-time contract (:class:`JournalMismatchError`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.checkpoint import (
+    JOURNAL_FORMAT_VERSION,
+    JournalError,
+    JournalStatus,
+    compact_journal,
+    inspect_journal,
+    repair_journal,
+)
+
+__all__ = ["journal_main", "build_journal_parser"]
+
+
+def build_journal_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments journal",
+        description="Inspect and maintain chunk journals (JSONL + CRC32).",
+    )
+    parser.add_argument(
+        "action",
+        choices=["verify", "status", "repair", "compact"],
+        help="what to do with the journal file",
+    )
+    parser.add_argument("path", help="journal file to operate on")
+    return parser
+
+
+def _print_status(status: JournalStatus, *, verbose: bool) -> None:
+    print(f"journal:    {status.path}")
+    print(f"format:     {status.format}")
+    print(f"sha256:     {status.sha256 or '(missing)'}")
+    print(f"chunks:     {status.n_chunks} lines, {status.n_keys} distinct keys")
+    if status.torn_tail:
+        print("torn tail:  yes (one truncated trailing line; benign)")
+    if status.duplicate_keys:
+        print(f"duplicates: {', '.join(status.duplicate_keys)}")
+    if status.issues:
+        print(f"issues:     {len(status.issues)}")
+        if verbose:
+            for issue in status.issues:
+                print(f"  line {issue.lineno}: {issue.reason}")
+
+
+def journal_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_journal_parser().parse_args(argv)
+    try:
+        if args.action in ("verify", "status"):
+            status = inspect_journal(args.path)
+            _print_status(status, verbose=True)
+            if args.action == "status":
+                return 0
+            if status.ok:
+                print("verify:     OK")
+                return 0
+            print("verify:     FAILED (run `journal repair` to salvage)")
+            return 1
+        if args.action == "repair":
+            before, kept = repair_journal(args.path)
+        else:
+            before, kept = compact_journal(args.path)
+        dropped = before.n_chunks - kept
+        print(f"journal:    {before.path}")
+        print(
+            f"{args.action}:    kept {kept} chunks, dropped {dropped} "
+            f"duplicate(s), {len(before.issues)} corrupt line(s)"
+            + (", torn tail" if before.torn_tail else "")
+        )
+        if args.action == "compact" and before.format != JOURNAL_FORMAT_VERSION:
+            print(
+                f"upgraded:   format {before.format} -> {JOURNAL_FORMAT_VERSION}"
+            )
+        return 0
+    except FileNotFoundError:
+        print(f"error: no such journal: {args.path}", file=sys.stderr)
+        return 1
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(journal_main())

@@ -292,6 +292,12 @@ def run_sweep(
     resume: bool = False,
     chunk_timeout: Optional[float] = None,
     chunk_retries: Optional[int] = None,
+    chaos: Optional[Any] = None,
+    report: Optional[Any] = None,
+    strict: bool = True,
+    rebuild_budget: Optional[int] = None,
+    run_deadline: Optional[float] = None,
+    cancel_on_sigterm: bool = False,
 ) -> SweepResult:
     """Evaluate every (algorithm, N) cell of ``config``.
 
@@ -308,9 +314,23 @@ def run_sweep(
     recomputing them -- bit-identically, for any ``n_jobs`` *and either
     backend* (the fingerprint covers neither -- see
     :mod:`repro.experiments.checkpoint`).  ``chunk_timeout`` bounds one
-    chunk's wall time in a worker; a timed-out (or crashed) chunk is
-    recomputed in the parent with up to ``chunk_retries`` retries
-    (default :data:`~repro.experiments.config.DEFAULT_CHUNK_RETRIES`).
+    chunk's *runtime*, measured from the chunk's observed start; a
+    timed-out, crashed, or raising chunk is retried -- with exponential
+    backoff and a bounded pool-rebuild budget -- up to ``chunk_retries``
+    times (default
+    :data:`~repro.experiments.config.DEFAULT_CHUNK_RETRIES`), then
+    quarantined.  With ``strict=True`` (default) quarantined chunks
+    raise :class:`~repro.experiments.checkpoint.ChunkQuarantinedError`
+    after everything else completed; with ``strict=False`` the sweep's
+    records simply omit their trials.
+
+    ``chaos`` (a :class:`~repro.chaos.ChaosSpec` or materialised
+    :class:`~repro.chaos.ChaosPlan`) injects a deterministic fault
+    schedule; ``report`` (a caller-supplied
+    :class:`~repro.chaos.RunReport`) receives per-run accounting;
+    ``run_deadline`` / ``cancel_on_sigterm`` cancel gracefully after
+    flushing completed chunks to the journal (see
+    :func:`~repro.experiments.checkpoint.execute_chunks`).
     """
     backend = normalize_backend(backend)
     chunks = chunk_bounds(config.n_trials, config.effective_chunk_size)
@@ -370,6 +390,12 @@ def run_sweep(
             timeout=chunk_timeout,
             retries=retries,
             backend=backend,
+            chaos=chaos,
+            report=report,
+            strict=strict,
+            rebuild_budget=rebuild_budget,
+            run_deadline=run_deadline,
+            cancel_on_sigterm=cancel_on_sigterm,
         )
     finally:
         for block, _ in blocks.values():
@@ -384,7 +410,12 @@ def run_sweep(
     per_cell: Dict[Tuple[str, int], List[Tuple[int, RatioAccumulator]]] = {
         cell: [] for cell in cells
     }
-    for algorithm, n, start, acc in raw:
+    for chunk_result in raw:
+        if chunk_result is None:
+            # quarantined chunk under strict=False: its trials are absent
+            # from the cell's statistics (the report names the keys)
+            continue
+        algorithm, n, start, acc = chunk_result
         per_cell[(algorithm, n)].append((start, acc))
 
     alpha = config.sampler.alpha

@@ -5,11 +5,17 @@ import json
 import pytest
 
 from repro.experiments.checkpoint import (
+    JOURNAL_FORMAT_VERSION,
     ChunkJournal,
+    ChunkQuarantinedError,
     JournalError,
     JournalMismatchError,
+    _entry_crc,
+    compact_journal,
     execute_chunks,
     fingerprint_digest,
+    inspect_journal,
+    repair_journal,
 )
 from repro.experiments.config import StochasticConfig
 from repro.experiments.runner import run_sweep, sweep_fingerprint
@@ -42,12 +48,12 @@ class TestChunkJournal:
         lines = path.read_text().splitlines()
         header = json.loads(lines[0])
         assert header["kind"] == "header"
+        assert header["format"] == JOURNAL_FORMAT_VERSION
         assert header["sha256"] == fingerprint_digest(FP)
-        assert json.loads(lines[1]) == {
-            "kind": "chunk",
-            "key": "a:0",
-            "payload": {"x": 1},
-        }
+        entry = json.loads(lines[1])
+        crc = entry.pop("crc32")
+        assert entry == {"kind": "chunk", "key": "a:0", "payload": {"x": 1}}
+        assert crc == _entry_crc("a:0", {"x": 1})
 
     def test_resume_loads_completed(self, tmp_path):
         path = tmp_path / "run.jsonl"
@@ -99,6 +105,198 @@ class TestChunkJournal:
         with ChunkJournal.open(path, fingerprint=FP) as journal:
             assert journal.completed == {}
         assert len(path.read_text().splitlines()) == 1
+
+
+class TestJournalFormat2:
+    def test_duplicate_record_raises(self, tmp_path):
+        with ChunkJournal.open(tmp_path / "j.jsonl", fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            with pytest.raises(JournalError, match="duplicate"):
+                journal.record("a:0", 2.5)
+            # the guard left the journal untouched
+            assert journal.completed == {"a:0": 1.5}
+
+    def test_checksum_detects_payload_corruption(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            journal.record("a:8", 2.5)
+        # flip one payload digit: the line is still valid JSON and a
+        # valid chunk shape -- only the checksum can catch it
+        text = path.read_text()
+        assert '"payload":1.5' in text
+        path.write_text(text.replace('"payload":1.5', '"payload":1.6'))
+        with pytest.raises(JournalError, match="checksum") as info:
+            ChunkJournal.open(path, fingerprint=FP, resume=True)
+        assert "line 2" in str(info.value)
+
+    def test_checksum_corruption_on_last_line_is_fatal(self, tmp_path):
+        # a torn write is never parseable JSON, so a parseable last line
+        # with a bad checksum is bit rot -- NOT a tolerable torn tail
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+        text = path.read_text()
+        path.write_text(text.replace('"payload":1.5', '"payload":1.6'))
+        with pytest.raises(JournalError, match="checksum"):
+            ChunkJournal.open(path, fingerprint=FP, resume=True)
+
+    def test_duplicate_key_in_v2_file_is_corruption(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+        line = path.read_text().splitlines()[1]
+        with path.open("a") as fh:
+            fh.write(line + "\n")
+        with pytest.raises(JournalError, match="duplicate"):
+            ChunkJournal.open(path, fingerprint=FP, resume=True)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = {
+            "kind": "header",
+            "format": 99,
+            "fingerprint": FP,
+            "sha256": fingerprint_digest(FP),
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(JournalError, match="format"):
+            ChunkJournal.open(path, fingerprint=FP, resume=True)
+
+
+def _write_v1_journal(path, fingerprint, entries):
+    """Hand-write a format-1 journal (no per-line checksums)."""
+    lines = [
+        json.dumps(
+            {
+                "kind": "header",
+                "format": 1,
+                "fingerprint": fingerprint,
+                "sha256": fingerprint_digest(fingerprint),
+            }
+        )
+    ]
+    for key, payload in entries:
+        lines.append(json.dumps({"kind": "chunk", "key": key, "payload": payload}))
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestJournalFormat1Compat:
+    def test_v1_journal_still_resumes(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        _write_v1_journal(path, FP, [("a:0", 1.5), ("a:8", 2.5)])
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"a:0": 1.5, "a:8": 2.5}
+            assert journal.format_version == 1
+
+    def test_v1_resume_appends_v1_lines(self, tmp_path):
+        # one file never mixes formats: appends follow the header
+        path = tmp_path / "v1.jsonl"
+        _write_v1_journal(path, FP, [("a:0", 1.5)])
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            journal.record("a:8", 2.5)
+        last = json.loads(path.read_text().splitlines()[-1])
+        assert "crc32" not in last
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"a:0": 1.5, "a:8": 2.5}
+
+    def test_v1_duplicates_last_wins(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        _write_v1_journal(path, FP, [("a:0", 1.5), ("a:0", 9.5)])
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"a:0": 9.5}
+
+
+class TestJournalMaintenance:
+    def _corrupt_payload(self, path):
+        text = path.read_text()
+        assert '"payload":1.5' in text
+        path.write_text(text.replace('"payload":1.5', '"payload":1.6'))
+
+    def test_inspect_clean_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            journal.record("a:8", 2.5)
+        status = inspect_journal(path)
+        assert status.ok
+        assert status.format == JOURNAL_FORMAT_VERSION
+        assert (status.n_chunks, status.n_keys) == (2, 2)
+        assert not status.torn_tail
+
+    def test_inspect_reports_issue_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            journal.record("a:8", 2.5)
+        self._corrupt_payload(path)
+        status = inspect_journal(path)
+        assert not status.ok
+        assert [issue.lineno for issue in status.issues] == [2]
+        assert "checksum" in status.issues[0].reason
+
+    def test_repair_drops_corrupt_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            journal.record("a:8", 2.5)
+        self._corrupt_payload(path)
+        before, kept = repair_journal(path)
+        assert not before.ok
+        assert kept == 1
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"a:8": 2.5}
+
+    def test_compact_upgrades_v1_to_v2(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        _write_v1_journal(path, FP, [("a:0", 1.5), ("a:0", 9.5), ("a:8", 2.5)])
+        _, kept = compact_journal(path)
+        assert kept == 2
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["format"] == JOURNAL_FORMAT_VERSION
+        for line in lines[1:]:
+            entry = json.loads(line)
+            assert entry["crc32"] == _entry_crc(entry["key"], entry["payload"])
+        # loader equivalence: v1 last-wins survived the upgrade
+        with ChunkJournal.open(path, fingerprint=FP, resume=True) as journal:
+            assert journal.completed == {"a:0": 9.5, "a:8": 2.5}
+
+    def test_journal_cli_verify_and_repair(self, tmp_path, capsys):
+        from repro.experiments.journal_cli import journal_main
+
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+            journal.record("a:8", 2.5)
+        assert journal_main(["verify", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        self._corrupt_payload(path)
+        assert journal_main(["verify", str(path)]) == 1
+        assert "checksum" in capsys.readouterr().out
+        assert journal_main(["repair", str(path)]) == 0
+        capsys.readouterr()
+        assert journal_main(["verify", str(path)]) == 0
+
+    def test_journal_cli_status_and_missing_file(self, tmp_path, capsys):
+        from repro.experiments.journal_cli import journal_main
+
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+        assert journal_main(["status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 distinct keys" in out
+        assert journal_main(["status", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such journal" in capsys.readouterr().err
+
+    def test_cli_dispatches_journal_subcommand(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        path = tmp_path / "j.jsonl"
+        with ChunkJournal.open(path, fingerprint=FP) as journal:
+            journal.record("a:0", 1.5)
+        assert main(["journal", "verify", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
 
 
 class TestExecuteChunks:

@@ -99,4 +99,76 @@ with tempfile.TemporaryDirectory() as tmp:
 assert resumed.records == plain.records, "resume is not bit-identical"
 EOF
 
+echo "== chaos: supervised sweep under injected faults + crash consistency =="
+# Run a short journaled sweep under the fixed 'smoke' chaos profile
+# (two worker SIGKILLs, one over-deadline hang, transient failures) and
+# require (a) the pool was rebuilt and every chunk accounted for, (b) the
+# merged result is bit-identical to the fault-free serial run, (c) a
+# post-chaos resume replays bit-identically, and (d) a real SIGKILL
+# mid-journal-append leaves a file that `journal verify` accepts and a
+# resume completes exactly.
+python - <<'EOF'
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+from repro.chaos import CHAOS_PROFILES, ChaosSpec, RunReport
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import run_sweep
+
+config = StochasticConfig.paper_table1(
+    n_trials=12, n_values=(4, 8), seed=11, chunk_size=4
+)
+plain = run_sweep(config)
+pooled = replace(config, n_jobs=2)
+chaos = ChaosSpec(config=CHAOS_PROFILES["smoke"], seed=1)
+with tempfile.TemporaryDirectory() as tmp:
+    journal = Path(tmp) / "chaos.jsonl"
+    report = RunReport()
+    stormy = run_sweep(
+        pooled,
+        journal_path=journal,
+        chunk_timeout=0.75,
+        chunk_retries=3,
+        chaos=chaos,
+        report=report,
+    )
+    assert stormy.records == plain.records, "chaos run is not bit-identical"
+    assert report.accounted, f"unaccounted chunks: {report.summary()}"
+    assert report.pool_rebuilds >= 1, f"no pool rebuild: {report.summary()}"
+    assert report.timeouts >= 1, f"no deadline hit: {report.summary()}"
+    assert not report.quarantined, f"quarantined: {report.summary()}"
+    resumed = run_sweep(pooled, journal_path=journal, resume=True)
+    assert resumed.records == plain.records, "post-chaos resume differs"
+
+    # crash consistency: SIGKILL a real subprocess mid-journal-append
+    crash_journal = Path(tmp) / "crash.jsonl"
+    victim = subprocess.run(
+        [sys.executable, "-c", """
+import sys
+from dataclasses import replace
+from repro.experiments.config import StochasticConfig
+from repro.experiments.runner import run_sweep
+config = StochasticConfig.paper_table1(
+    n_trials=12, n_values=(4, 8), seed=11, chunk_size=4
+)
+run_sweep(config, journal_path=sys.argv[1])
+""", str(crash_journal)],
+        env={**os.environ, "REPRO_CHAOS_CRASH": "journal-append:4:9"},
+    )
+    assert victim.returncode == -9, f"victim exited {victim.returncode}, not SIGKILL"
+    verify = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "journal", "verify",
+         str(crash_journal)],
+    )
+    assert verify.returncode == 0, "journal verify rejected the crashed file"
+    recovered = run_sweep(config, journal_path=crash_journal, resume=True)
+    assert recovered.records == plain.records, "post-crash resume differs"
+print("chaos smoke OK")
+EOF
+
 echo "== all checks passed =="
