@@ -70,9 +70,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.chaos import ChaosPlan, ChaosSpec, RunReport, chaos_call
 from repro.chaos import crashpoints
 from repro.experiments.config import (
-    DEFAULT_BACKOFF_BASE,
-    DEFAULT_BACKOFF_CAP,
-    DEFAULT_POOL_REBUILDS,
+    default_backoff_base,
+    default_backoff_cap,
+    default_pool_rebuilds,
 )
 from repro.utils.rng import child_seed
 
@@ -491,6 +491,24 @@ def _backoff_delay(key: str, attempt: int, base: float, cap: float) -> float:
     return raw * (0.5 + 0.5 * u)
 
 
+def _process_worker_init() -> None:
+    """Pool-worker initializer: sever inherited signal plumbing.
+
+    Workers are forked from a parent that may run an asyncio event loop
+    with ``add_signal_handler()`` installed (the serving layer does).
+    The fork inherits both the Python-level handlers and the loop's
+    signal *wakeup fd* -- a socketpair shared with the parent -- so a
+    SIGTERM delivered to a **worker** (which is exactly what executor
+    shutdown sends after a sibling dies) would make the dying worker
+    write the signal number into the parent loop's wakeup pipe, and the
+    parent would spuriously run its own SIGTERM callback.  Reset both:
+    a worker's signals are its own business.
+    """
+    signal.set_wakeup_fd(-1)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, signal.SIG_DFL)
+
+
 def _pool_worker_pids(pool: Any) -> List[int]:
     """PIDs of a process pool's live workers ([] for thread pools)."""
     procs = getattr(pool, "_processes", None)
@@ -572,9 +590,13 @@ def execute_chunks(
         raise ValueError(
             f"unknown backend {backend!r} (use 'processes' or 'threads')"
         )
-    base = DEFAULT_BACKOFF_BASE if backoff_base is None else backoff_base
-    cap = DEFAULT_BACKOFF_CAP if backoff_cap is None else backoff_cap
-    budget = DEFAULT_POOL_REBUILDS if rebuild_budget is None else rebuild_budget
+    # Unset knobs fall back to the REPRO_BACKOFF_BASE / REPRO_BACKOFF_CAP /
+    # REPRO_POOL_REBUILDS environment overrides (read per call, so a
+    # long-lived service tightens them without a restart), then to the
+    # DEFAULT_* constants.
+    base = default_backoff_base() if backoff_base is None else backoff_base
+    cap = default_backoff_cap() if backoff_cap is None else backoff_cap
+    budget = default_pool_rebuilds() if rebuild_budget is None else rebuild_budget
     if base < 0.0 or cap < 0.0:
         raise ValueError(f"backoff must be >= 0, got base={base}, cap={cap}")
     if budget < 0:
@@ -764,7 +786,9 @@ def _supervise_pool(
     def make_pool() -> Any:
         if backend == "threads":
             return ThreadPoolExecutor(max_workers=n_jobs)
-        return ProcessPoolExecutor(max_workers=n_jobs)
+        return ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_process_worker_init
+        )
 
     pool = make_pool()
     pool_alive = True

@@ -315,10 +315,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     # --chaos-profile/--deadline drive the supervised executor on the
     # sweep experiments; a RunReport collects the accounting either way.
+    # A journaled sweep also cancels gracefully on SIGTERM (completed
+    # chunks are flushed first and the exit message names the resume
+    # command), so an operator's `kill` never wastes finished work.
     supervise_kw = {}
     run_report = None
     if args.experiment in ("table1", "figure5"):
-        if args.chaos_profile is not None or args.deadline is not None:
+        if (
+            args.chaos_profile is not None
+            or args.deadline is not None
+            or journal_kw
+        ):
             from repro.chaos import CHAOS_PROFILES, ChaosSpec, RunReport
 
             run_report = RunReport()
@@ -330,6 +337,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             if args.deadline is not None:
                 supervise_kw["run_deadline"] = args.deadline
+            if args.deadline is not None or journal_kw:
                 supervise_kw["cancel_on_sigterm"] = True
 
     from repro.experiments.checkpoint import RunCancelledError

@@ -28,6 +28,9 @@ __all__ = [
     "BACKENDS",
     "ENGINES",
     "StochasticConfig",
+    "default_backoff_base",
+    "default_backoff_cap",
+    "default_pool_rebuilds",
     "full_scale_requested",
     "normalize_backend",
     "normalize_engine",
@@ -62,6 +65,59 @@ DEFAULT_BACKOFF_CAP = 2.0
 #: How many times the supervised executor rebuilds a broken worker pool
 #: before degrading the rest of the run to in-parent execution.
 DEFAULT_POOL_REBUILDS = 2
+
+
+def _env_nonneg_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if not (value >= 0.0):  # also rejects NaN
+        raise ValueError(f"{name} must be non-negative, got {raw!r}")
+    return value
+
+
+def _env_nonneg_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {raw!r}")
+    return value
+
+
+def default_backoff_base() -> float:
+    """First-retry backoff: ``REPRO_BACKOFF_BASE`` or the baked-in default.
+
+    The environment knobs exist because one executor serves two very
+    different callers: batch sweeps tolerate (and want) the forgiving
+    defaults, while the serving layer (:mod:`repro.serve`) and CI runs
+    need much tighter retry timing.  Read at call time so a long-lived
+    process picks up changes; invalid values raise :class:`ValueError`
+    rather than being silently ignored (see docs/resilience.md).
+    """
+    return _env_nonneg_float("REPRO_BACKOFF_BASE", DEFAULT_BACKOFF_BASE)
+
+
+def default_backoff_cap() -> float:
+    """Backoff ceiling: ``REPRO_BACKOFF_CAP`` or the baked-in default."""
+    return _env_nonneg_float("REPRO_BACKOFF_CAP", DEFAULT_BACKOFF_CAP)
+
+
+def default_pool_rebuilds() -> int:
+    """Pool-rebuild budget: ``REPRO_POOL_REBUILDS`` or the default."""
+    return _env_nonneg_int("REPRO_POOL_REBUILDS", DEFAULT_POOL_REBUILDS)
 
 #: Evaluation engines for the machine-model studies.  ``"fastpath"``
 #: uses the closed-form batched kernels of

@@ -15,7 +15,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Callable, TextIO, Union
 
 from repro.chaos import crashpoints
 from repro.core.metrics import RatioSample
@@ -40,14 +40,26 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def write_atomic(path: Union[str, Path], text: str) -> Path:
-    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+def write_atomic(
+    path: Union[str, Path],
+    content: Union[str, Callable[[TextIO], None]],
+) -> Path:
+    """Write ``content`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    ``content`` is either the full text, or a *writer callable* that
+    receives the open text handle and streams into it (e.g. ``lambda fh:
+    json.dump(payload, fh)``) -- the callable form lets serialisation
+    happen inside the protected window, so a serialisation error
+    mid-dump cleans up like any other write failure.
 
     A crash mid-write leaves either the old file or the new one, never a
     torn artifact -- every artifact writer in this repo goes through
     here.  The temp file lives in the target directory so the replace
     stays on one filesystem; it is fsynced before the swap so the rename
-    never outruns the data.
+    never outruns the data.  *Any* failure on the write path (ENOSPC, a
+    raising writer callable, a failed fsync or replace) unlinks the temp
+    file before re-raising, so crashed artifact writes never accumulate
+    stale ``.tmp`` files next to the target.
     """
     path = Path(path)
     # crash-point hooks bracket the vulnerable window: "pre" dies before
@@ -59,8 +71,20 @@ def write_atomic(path: Union[str, Path], text: str) -> Path:
         dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        handle = os.fdopen(fd, "w", encoding="utf-8")
+    except BaseException:
+        os.close(fd)
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        with handle:
+            if callable(content):
+                content(handle)
+            else:
+                handle.write(content)
             handle.flush()
             os.fsync(handle.fileno())
         crashpoints.maybe_crash("write-atomic-post")

@@ -65,6 +65,7 @@ DEFAULT_PROFILE_PATHS: Tuple[Tuple[str, str], ...] = (
     ("src/repro/fem", "strict"),
     ("src/repro/lint", "strict"),
     ("src/repro/experiments", "relaxed"),
+    ("src/repro/serve", "relaxed"),
     ("benchmarks", "relaxed"),
     ("examples", "relaxed"),
     ("tests", "relaxed"),

@@ -1,0 +1,122 @@
+"""Admission control: bounded queue + latency-aware load shedding.
+
+The server admits a partition request only while (a) the number of
+requests in flight is below ``max_inflight`` and (b) the rolling p99 of
+recently completed requests is below ``p99_budget_s``.  Everything else
+is shed with HTTP 429 and a ``Retry-After`` hint scaled to how far over
+budget the service is -- shedding early and cheaply is what keeps the
+admitted requests inside their deadlines (graceful degradation instead
+of congestion collapse).
+
+Pure bookkeeping, event-loop-confined, no locks; unit-testable without
+a running server.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+__all__ = ["AdmissionController", "LatencyWindow"]
+
+
+class LatencyWindow:
+    """Rolling window of recent request latencies with cheap quantiles."""
+
+    def __init__(self, size: int = 256) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self._window: Deque[float] = deque(maxlen=size)
+
+    def observe(self, latency_s: float) -> None:
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_s}")
+        self._window.append(latency_s)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of the window (nearest-rank), or ``None``
+        while the window is empty."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.quantile(0.99)
+
+
+@dataclass
+class Decision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = ""
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """Decides admit/shed for each incoming partition request."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 512,
+        p99_budget_s: Optional[float] = None,
+        window: Optional[LatencyWindow] = None,
+        min_latency_samples: int = 32,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if p99_budget_s is not None and p99_budget_s <= 0:
+            raise ValueError(
+                f"p99_budget_s must be positive, got {p99_budget_s}"
+            )
+        self.max_inflight = max_inflight
+        self.p99_budget_s = p99_budget_s
+        self.window = window if window is not None else LatencyWindow()
+        self.min_latency_samples = min_latency_samples
+        self.inflight = 0
+
+    def try_admit(self) -> Decision:
+        """Admit (and count) one request, or explain the shed.
+
+        Callers MUST pair every admitted request with exactly one
+        :meth:`release` -- the server does so in a ``finally``.
+        """
+        if self.inflight >= self.max_inflight:
+            return Decision(
+                admitted=False,
+                reason=f"queue full ({self.inflight} in flight)",
+                retry_after_s=1.0,
+            )
+        if self.p99_budget_s is not None and len(self.window) >= self.min_latency_samples:
+            p99 = self.window.p99
+            if p99 is not None and p99 > self.p99_budget_s:
+                # back off proportionally to how far over budget we are,
+                # capped so clients never wait absurdly long to retry
+                return Decision(
+                    admitted=False,
+                    reason=(
+                        f"p99 {p99 * 1e3:.0f}ms over budget "
+                        f"{self.p99_budget_s * 1e3:.0f}ms"
+                    ),
+                    retry_after_s=min(10.0, 2.0 * p99 / self.p99_budget_s),
+                )
+        self.inflight += 1
+        return Decision(admitted=True)
+
+    def release(self, latency_s: Optional[float] = None) -> None:
+        """Finish one admitted request; feed its latency to the window."""
+        if self.inflight <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self.inflight -= 1
+        if latency_s is not None:
+            self.window.observe(latency_s)

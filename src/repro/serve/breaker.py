@@ -1,0 +1,95 @@
+"""Circuit breaker guarding the native kernel + worker-pool path.
+
+Repeated kernel-worker deaths (pool rebuilds, quarantined batches,
+dispatch exceptions) trip the breaker: the engine then serves from the
+*degraded* path -- NumPy reference kernels, inline in the server
+process, no pool to kill -- which is slower but produces bit-identical
+ratios (the repo's kernel-parity tests are the warrant).  After a reset
+window the breaker half-opens and lets exactly one probe batch through
+the native path; a healthy probe closes the breaker, a failed one
+re-opens it with the window restarted.
+
+The clock is injected so unit tests drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Classic 3-state breaker; event-loop-confined, no locks."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_after_s: float = 5.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s <= 0:
+            raise ValueError(f"reset_after_s must be positive, got {reset_after_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock if clock is not None else time.monotonic
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.recoveries = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+
+    def allow_native(self) -> bool:
+        """May the next batch take the native + worker-pool path?
+
+        In ``half_open`` this hands out a single probe permit; the
+        caller must answer with :meth:`record_success` or
+        :meth:`record_failure` (the engine does so for every dispatch).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.reset_after_s:
+                self.state = HALF_OPEN
+                self._probe_out = False
+            else:
+                return False
+        # half-open: one probe at a time
+        if self._probe_out:
+            return False
+        self._probe_out = True
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self._probe_out = False
+            self.recoveries += 1
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._trip()
+        elif self.state == CLOSED and (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self._opened_at = self._clock()
+        self._probe_out = False
+        self.trips += 1

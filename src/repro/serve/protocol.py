@@ -1,0 +1,178 @@
+"""Request/response schema of the partitioning service.
+
+One JSON object per POST ``/v1/partition``::
+
+    {"algorithm": "bahf", "n": 256, "alpha": 0.25,     # or "sampler": {...}
+     "trials": 32, "seed": 7, "lam": 1.0, "deadline_ms": 250}
+
+``alpha`` is shorthand for a :class:`~repro.problems.samplers.FixedAlpha`
+sampler; ``sampler`` accepts the same tagged dicts the sweep archive
+format uses (``{"kind": "uniform", "low": ..., "high": ...}`` etc., see
+:mod:`repro.experiments.io`).  Every field is validated here, before a
+request can reach the batcher, so malformed input costs a 400 and
+nothing else.
+
+The response is the paper's per-cell summary for exactly the requested
+trials: min/avg/max/variance of the achieved ratio, the analytical
+upper bound, and serving metadata (batch size, degraded flag).  Results
+are a pure function of ``(algorithm, n, sampler, lam, seed, trials)`` --
+the e2e chaos test replays requests against
+:func:`repro.experiments.stochastic.trial_ratios` to prove the service
+returns bit-identical numbers no matter how requests were batched or
+which faults fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bounds import bound_for
+from repro.core.metrics import summarize_ratios
+from repro.experiments.io import _sampler_from_dict, _sampler_to_dict
+from repro.experiments.stochastic import normalize_algorithm
+from repro.problems.samplers import AlphaSampler, FixedAlpha
+
+__all__ = [
+    "MAX_N",
+    "MAX_TRIALS",
+    "PartitionRequest",
+    "ProtocolError",
+    "response_payload",
+]
+
+#: Hard ceilings on request size: one request may not monopolise the
+#: batcher (admission control bounds *queue depth*, these bound *work
+#: per item*).  Generous relative to the paper's grid (N <= 2^20 runs
+#: offline; the service targets interactive queries).
+MAX_N = 1 << 16
+MAX_TRIALS = 4096
+
+
+class ProtocolError(ValueError):
+    """Invalid request payload; maps to HTTP 400."""
+
+
+def _require_int(payload: Dict[str, Any], key: str, default: Optional[int],
+                 *, lo: int, hi: int) -> int:
+    value = payload.get(key, default)
+    if value is None:
+        raise ProtocolError(f"missing required field {key!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{key} must be an integer, got {value!r}")
+    if not (lo <= value <= hi):
+        raise ProtocolError(f"{key} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class PartitionRequest:
+    """A validated partition query (immutable, hashable, picklable)."""
+
+    algorithm: str
+    n: int
+    sampler: AlphaSampler
+    n_trials: int
+    seed: int
+    lam: float = 1.0
+    deadline_s: Optional[float] = None
+
+    @property
+    def group_key(self) -> Tuple[str, int, AlphaSampler, float]:
+        """Requests sharing this key stack into one draw-matrix kernel
+        call; the seed deliberately stays out (per-trial generators are
+        derived per request, so one batch can serve many seeds)."""
+        return (self.algorithm, self.n, self.sampler, self.lam)
+
+    @classmethod
+    def parse(cls, payload: Any) -> "PartitionRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        unknown = set(payload) - {
+            "algorithm", "n", "alpha", "sampler", "trials", "seed",
+            "lam", "deadline_ms",
+        }
+        if unknown:
+            raise ProtocolError(f"unknown fields: {sorted(unknown)}")
+        algorithm = payload.get("algorithm", "hf")
+        if not isinstance(algorithm, str):
+            raise ProtocolError(f"algorithm must be a string, got {algorithm!r}")
+        try:
+            algorithm = normalize_algorithm(algorithm)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        n = _require_int(payload, "n", None, lo=1, hi=MAX_N)
+        n_trials = _require_int(payload, "trials", 16, lo=1, hi=MAX_TRIALS)
+        seed = _require_int(payload, "seed", 0, lo=-(1 << 62), hi=1 << 62)
+
+        if "alpha" in payload and "sampler" in payload:
+            raise ProtocolError("give either 'alpha' or 'sampler', not both")
+        try:
+            if "sampler" in payload:
+                spec = payload["sampler"]
+                if not isinstance(spec, dict):
+                    raise ProtocolError("sampler must be an object")
+                sampler = _sampler_from_dict(spec)
+            else:
+                alpha = payload.get("alpha", 0.25)
+                if isinstance(alpha, bool) or not isinstance(alpha, (int, float)):
+                    raise ProtocolError(f"alpha must be a number, got {alpha!r}")
+                sampler = FixedAlpha(float(alpha))
+        except ProtocolError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid sampler: {exc}") from None
+
+        lam = payload.get("lam", 1.0)
+        if isinstance(lam, bool) or not isinstance(lam, (int, float)):
+            raise ProtocolError(f"lam must be a number, got {lam!r}")
+        lam = float(lam)
+        if not (lam >= 1.0):  # also rejects NaN
+            raise ProtocolError(f"lam must be >= 1, got {lam}")
+
+        deadline_s: Optional[float] = None
+        if payload.get("deadline_ms") is not None:
+            ms = payload["deadline_ms"]
+            if isinstance(ms, bool) or not isinstance(ms, (int, float)):
+                raise ProtocolError(f"deadline_ms must be a number, got {ms!r}")
+            if not (0 < float(ms) <= 600_000):
+                raise ProtocolError(
+                    f"deadline_ms must be in (0, 600000], got {ms}"
+                )
+            deadline_s = float(ms) / 1000.0
+        return cls(
+            algorithm=algorithm,
+            n=n,
+            sampler=sampler,
+            n_trials=n_trials,
+            seed=seed,
+            lam=lam,
+            deadline_s=deadline_s,
+        )
+
+
+def response_payload(
+    request: PartitionRequest,
+    ratios: np.ndarray,
+    *,
+    degraded: bool,
+    batch_size: int,
+) -> Dict[str, Any]:
+    """The 200 body for ``request`` answered by ``ratios``."""
+    sample = summarize_ratios(ratios)
+    return {
+        "algorithm": request.algorithm,
+        "n": request.n,
+        "sampler": _sampler_to_dict(request.sampler),
+        "lam": request.lam,
+        "seed": request.seed,
+        "trials": request.n_trials,
+        "ratios": sample.as_dict(),
+        "bound": bound_for(
+            request.algorithm, request.sampler.alpha, request.n, request.lam
+        ),
+        "degraded": degraded,
+        "batched_with": batch_size,
+    }

@@ -172,3 +172,131 @@ class TestMain:
         for path in sorted(results.glob("BENCH_*.json")):
             payload = bench_compare.load_artifact(str(path))
             assert list(bench_compare.iter_metrics(payload)), path.name
+
+
+def serve_artifact(p50=10.0, p99=20.0, shed=0.0, rps=1000.0, machine=None):
+    payload = {
+        "schema_version": 1,
+        "entries": {
+            "serve": {
+                "p50_ms": p50,
+                "p99_ms": p99,
+                "shed_rate": shed,
+                "throughput_rps": rps,
+            }
+        },
+    }
+    if machine is not None:
+        payload["machine"] = machine
+    return payload
+
+
+class TestLowerMetrics:
+    """Lower-is-better gating for the BENCH_serve.json latency group."""
+
+    def compare(self, base, cand, threshold=25.0):
+        return bench_compare.compare_artifacts(
+            base, cand,
+            metrics=["throughput_rps"],
+            lower_metrics=["p50_ms", "p99_ms", "shed_rate"],
+            threshold_pct=threshold,
+        )
+
+    def test_identical_passes(self):
+        a = serve_artifact()
+        _, regressions, _ = self.compare(a, a)
+        assert regressions == []
+
+    def test_latency_rise_beyond_threshold_regresses(self):
+        _, regressions, _ = self.compare(
+            serve_artifact(p99=20.0), serve_artifact(p99=30.0)
+        )
+        assert len(regressions) == 1
+        assert "p99_ms" in regressions[0]
+        assert "lower is better" in regressions[0]
+
+    def test_latency_rise_within_threshold_passes(self):
+        _, regressions, _ = self.compare(
+            serve_artifact(p99=20.0), serve_artifact(p99=23.0)
+        )
+        assert regressions == []
+
+    def test_latency_drop_never_regresses(self):
+        _, regressions, _ = self.compare(
+            serve_artifact(p50=10.0, p99=20.0), serve_artifact(p50=1.0, p99=2.0)
+        )
+        assert regressions == []
+
+    def test_zero_baseline_rise_always_regresses(self):
+        # shed_rate going 0 -> anything has no relative change; it must
+        # still gate (a service that starts shedding regressed)
+        _, regressions, _ = self.compare(
+            serve_artifact(shed=0.0), serve_artifact(shed=0.01)
+        )
+        assert len(regressions) == 1
+        assert "zero baseline" in regressions[0]
+
+    def test_zero_baseline_staying_zero_passes(self):
+        _, regressions, _ = self.compare(
+            serve_artifact(shed=0.0), serve_artifact(shed=0.0)
+        )
+        assert regressions == []
+
+    def test_throughput_drop_still_gated_alongside(self):
+        _, regressions, _ = self.compare(
+            serve_artifact(rps=1000.0), serve_artifact(rps=500.0)
+        )
+        assert len(regressions) == 1
+        assert "throughput_rps" in regressions[0]
+
+    def test_metric_gated_both_directions_rejected(self):
+        a = serve_artifact()
+        with pytest.raises(ValueError, match="both directions"):
+            bench_compare.compare_artifacts(
+                a, a,
+                metrics=["p99_ms"],
+                lower_metrics=["p99_ms"],
+                threshold_pct=25.0,
+            )
+
+    def test_default_lower_metrics_cover_the_serve_artifact(self):
+        assert set(bench_compare.DEFAULT_LOWER_METRICS) == {
+            "p50_ms", "p99_ms", "shed_rate"
+        }
+        assert "throughput_rps" in bench_compare.DEFAULT_METRICS
+
+
+class TestLowerMetricsMain:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_main_gates_latency_by_default(self, tmp_path, capsys):
+        base = self.write(
+            tmp_path, "a.json", serve_artifact(p99=20.0, machine=MACHINE)
+        )
+        cand = self.write(
+            tmp_path, "b.json", serve_artifact(p99=40.0, machine=MACHINE)
+        )
+        assert bench_compare.main([base, cand, "--threshold", "25"]) == 1
+        err = capsys.readouterr().err
+        assert "p99_ms" in err
+
+    def test_main_lower_metrics_flag_overrides(self, tmp_path, capsys):
+        base = self.write(
+            tmp_path, "a.json", serve_artifact(p99=20.0, machine=MACHINE)
+        )
+        cand = self.write(
+            tmp_path, "b.json", serve_artifact(p99=40.0, machine=MACHINE)
+        )
+        # gating only p50_ms leaves the p99 rise as an ungated FYI line
+        assert bench_compare.main(
+            [base, cand, "--threshold", "25", "--lower-metrics", "p50_ms"]
+        ) == 0
+
+    def test_committed_serve_artifact_self_compares_clean(self, capsys):
+        results = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+        path = results / "BENCH_serve.json"
+        assert path.is_file(), "BENCH_serve.json must be committed"
+        assert bench_compare.main([str(path), str(path)]) == 0

@@ -197,3 +197,102 @@ class TestErrorPaths:
         err = capsys.readouterr().err
         assert "cannot write json" in err
         assert "Traceback" not in err
+
+
+class TestCancellation:
+    """The --deadline and SIGTERM cancel paths: exit 130, a [run report]
+    stderr line, a resume hint, and a bit-identical --resume."""
+
+    GRID = ["table1", "--trials", "256", "--max-n", "4096"]
+
+    def plain_output(self, capsys):
+        assert main(list(self.GRID)) == 0
+        return capsys.readouterr().out
+
+    def test_deadline_cancels_with_resume_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # stretch the run with transient chaos + slow retry backoff (the
+        # REPRO_BACKOFF_* env knobs) so the deadline reliably strikes
+        monkeypatch.setenv("REPRO_BACKOFF_BASE", "0.25")
+        monkeypatch.setenv("REPRO_BACKOFF_CAP", "0.5")
+        journal = tmp_path / "t1.jsonl"
+        rc = main(
+            self.GRID
+            + [
+                "--journal", str(journal),
+                "--chaos-profile", "transient",
+                "--deadline", "0.15",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 130, captured.err
+        assert "run cancelled" in captured.err
+        assert "[run report]" in captured.err
+        assert "re-run with --resume" in captured.err
+        assert journal.exists()
+
+        # the resume completes the run and renders bit-identically
+        monkeypatch.delenv("REPRO_BACKOFF_BASE")
+        monkeypatch.delenv("REPRO_BACKOFF_CAP")
+        assert main(self.GRID + ["--journal", str(journal), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == self.plain_output(capsys)
+
+    def test_sigterm_cancels_subprocess_with_exit_130(self, tmp_path, capsys):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        journal = tmp_path / "t1.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(repo_root / "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        env["REPRO_BACKOFF_BASE"] = "0.25"
+        env["REPRO_BACKOFF_CAP"] = "0.5"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.cli"]
+            + self.GRID
+            + ["--journal", str(journal), "--chaos-profile", "transient"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=repo_root,
+            env=env,
+        )
+        try:
+            # wait for real progress (journal header + >= 1 chunk), then
+            # interrupt mid-sweep
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                if journal.exists() and len(
+                    journal.read_text().splitlines()
+                ) >= 2:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.01)
+            assert proc.poll() is None, proc.communicate()[1]
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, stderr
+        assert "run cancelled: SIGTERM received" in stderr
+        assert "[run report]" in stderr
+        assert "re-run with --resume" in stderr
+
+        # completed chunks survive: the resume replays them and finishes
+        # bit-identically to an uninterrupted run
+        assert main(self.GRID + ["--journal", str(journal), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == self.plain_output(capsys)

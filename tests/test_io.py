@@ -164,3 +164,46 @@ class TestWriteAtomic:
         with pytest.raises(OSError, match="disk on fire"):
             io_mod.write_atomic(target, "data")
         assert list(tmp_path.iterdir()) == []
+
+    def test_writer_callable_streams_content(self, tmp_path):
+        from repro.experiments.io import write_atomic
+
+        target = tmp_path / "out.json"
+        write_atomic(target, lambda fh: json.dump({"a": 1}, fh))
+        assert json.loads(target.read_text()) == {"a": 1}
+
+    def test_raising_writer_cleans_up_and_keeps_old_file(self, tmp_path):
+        from repro.experiments.io import write_atomic
+
+        target = tmp_path / "out.json"
+        target.write_text("old")
+
+        def bad_writer(fh):
+            fh.write("partial")
+            raise ValueError("serialisation exploded")
+
+        with pytest.raises(ValueError, match="serialisation exploded"):
+            write_atomic(target, bad_writer)
+        # the old artifact survives and no .tmp file accumulates
+        assert target.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_fdopen_failure_closes_fd_and_cleans_up(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.experiments import io as io_mod
+
+        real_fdopen = _os.fdopen
+        opened = {}
+
+        def boom(fd, *args, **kwargs):
+            opened["fd"] = fd
+            raise OSError("out of handles")
+
+        monkeypatch.setattr(io_mod.os, "fdopen", boom)
+        with pytest.raises(OSError, match="out of handles"):
+            io_mod.write_atomic(tmp_path / "out.txt", "data")
+        assert list(tmp_path.iterdir()) == []
+        # the mkstemp fd was closed on the failure path
+        with pytest.raises(OSError):
+            real_fdopen(opened["fd"], "w")

@@ -57,6 +57,18 @@ DEFAULT_METRICS = (
     "scalar_trials_per_s",
     "native_trials_per_s",
     "numpy_trials_per_s",
+    "throughput_rps",
+)
+
+#: Lower-is-better metrics gated by default -- the latency-percentile
+#: group of ``BENCH_serve.json`` (an *increase* beyond the threshold is
+#: the regression).  They obey the same cross-machine / cross-threading
+#: demotion rules as the throughput keys: latency numbers from a
+#: different CPU or kernel thread count say nothing about the code.
+DEFAULT_LOWER_METRICS = (
+    "p50_ms",
+    "p99_ms",
+    "shed_rate",
 )
 
 
@@ -152,22 +164,35 @@ def compare_artifacts(
     *,
     metrics: Sequence[str],
     threshold_pct: float,
+    lower_metrics: Sequence[str] = (),
 ) -> Tuple[List[str], List[str], List[str]]:
     """(report_lines, regression_lines, warnings) for candidate vs baseline.
+
+    ``metrics`` are higher-is-better rates (a *drop* beyond the
+    threshold regresses); ``lower_metrics`` are lower-is-better values
+    such as latency percentiles and shed rates (an *increase* beyond the
+    threshold regresses; a lower metric growing from a zero baseline is
+    always a regression, since no relative change can describe it).
 
     A metric key present in one artifact but not the other is never an
     error: each such key yields one ``warnings`` entry (and, when the
     metric is gated, a regression), so artifacts written by different
     benchmark versions still diff cleanly.
     """
+    overlap = set(metrics) & set(lower_metrics)
+    if overlap:
+        raise ValueError(
+            f"metrics gated in both directions: {sorted(overlap)}"
+        )
     base = {(n, m): v for n, m, v in iter_metrics(baseline)}
     cand = {(n, m): v for n, m, v in iter_metrics(candidate)}
     gated = set(metrics)
+    gated_lower = set(lower_metrics)
     lines: List[str] = []
     regressions: List[str] = []
     warnings: List[str] = []
     seen_metrics = {m for _, m in base} | {m for _, m in cand}
-    for metric in metrics:
+    for metric in list(metrics) + list(lower_metrics):
         if metric not in seen_metrics:
             warnings.append(
                 f"gated metric {metric!r} appears in neither artifact"
@@ -177,7 +202,7 @@ def compare_artifacts(
         if key not in cand:
             lines.append(f"  {name}.{metric}: missing from candidate")
             warnings.append(f"{name}.{metric} missing from candidate")
-            if metric in gated:
+            if metric in gated or metric in gated_lower:
                 regressions.append(f"{name}.{metric} missing from candidate")
             continue
         old, new = base[key], cand[key]
@@ -187,18 +212,30 @@ def compare_artifacts(
         else:
             pct = (new - old) / abs(old) * 100.0
             change = f"{pct:+.1f}%"
-        gate = metric in gated
+        gate = metric in gated or metric in gated_lower
         mark = "*" if gate else " "
         lines.append(
             f" {mark}{name}.{metric}: {old:.4g} -> {new:.4g} ({change})"
         )
-        # Gated metrics are higher-is-better rates: a drop beyond the
-        # threshold is a regression.
-        if gate and old and pct < -threshold_pct:
+        # Higher-is-better rates regress on a drop beyond the threshold;
+        # lower-is-better values (latency, shed rate) on a rise.
+        if metric in gated and old and pct < -threshold_pct:
             regressions.append(
                 f"{name}.{metric} regressed {pct:.1f}% "
                 f"({old:.4g} -> {new:.4g}, threshold -{threshold_pct:.1f}%)"
             )
+        elif metric in gated_lower:
+            if old and pct > threshold_pct:
+                regressions.append(
+                    f"{name}.{metric} regressed {pct:+.1f}% "
+                    f"({old:.4g} -> {new:.4g}, threshold "
+                    f"+{threshold_pct:.1f}%, lower is better)"
+                )
+            elif not old and new > 0:
+                regressions.append(
+                    f"{name}.{metric} regressed from a zero baseline "
+                    f"(0 -> {new:.4g}, lower is better)"
+                )
     for key in sorted(set(cand) - set(base)):
         name, metric = key
         lines.append(f"  {name}.{metric}: new metric ({cand[key]:.4g})")
@@ -222,6 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--lower-metrics",
+        default=",".join(DEFAULT_LOWER_METRICS),
+        help=(
+            "comma-separated lower-is-better metrics to gate on -- "
+            "latency percentiles and shed rates, where an increase is "
+            f"the regression (default: {','.join(DEFAULT_LOWER_METRICS)})"
+        ),
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=25.0,
@@ -236,10 +282,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("--threshold must be >= 0", file=sys.stderr)
         return 2
     metrics = [m for m in args.metrics.split(",") if m]
+    lower_metrics = [m for m in args.lower_metrics.split(",") if m]
     baseline = load_artifact(args.baseline)
     candidate = load_artifact(args.candidate)
     lines, regressions, warnings = compare_artifacts(
-        baseline, candidate, metrics=metrics, threshold_pct=args.threshold
+        baseline,
+        candidate,
+        metrics=metrics,
+        threshold_pct=args.threshold,
+        lower_metrics=lower_metrics,
     )
     thread_warns = threading_warnings(baseline, candidate)
     if thread_warns and regressions:
@@ -255,6 +306,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"baseline : {args.baseline}")
     print(f"candidate: {args.candidate}")
     print(f"gated metrics (*): {', '.join(metrics) or '(none)'}")
+    print(
+        f"gated lower-is-better (*): {', '.join(lower_metrics) or '(none)'}"
+    )
     for line in lines:
         print(line)
     for warning in warnings:

@@ -171,4 +171,53 @@ run_sweep(config, journal_path=sys.argv[1])
 print("chaos smoke OK")
 EOF
 
+echo "== serve: chaos burst, zero drops, graceful drain =="
+# Start the partition service on an ephemeral port with the 'smoke'
+# chaos profile injected into its first batches (real worker SIGKILLs +
+# an over-deadline hang), fire a short load burst, and require (a) every
+# request got an HTTP response (shed/expired are legal, silent drops are
+# not), (b) the drained ServeReport accounts for every request, and (c)
+# SIGTERM drains cleanly with exit code 0.
+serve_log=$(mktemp)
+serve_report=$(mktemp)
+python -m repro.serve --port 0 --workers 2 --backend processes \
+    --chaos-profile smoke --chaos-batches 3 --window-ms 2 \
+    --report "$serve_report" > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 50); do
+    grep -q "listening on" "$serve_log" && break
+    sleep 0.1
+done
+serve_port=$(grep -oP 'listening on [^:]+:\K[0-9]+' "$serve_log")
+if [ -z "$serve_port" ]; then
+    echo "serve stage: server never came up" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+python tools/loadgen.py --port "$serve_port" --duration 2 \
+    --connections 16 --strict
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 0 ]; then
+    echo "serve stage: server exited $serve_rc after SIGTERM (want 0)" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+python - "$serve_report" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report["accounted"], f"unaccounted requests: {report}"
+assert report["drained"], "server did not record a graceful drain"
+assert report["received"] > 0, "loadgen reached the server zero times"
+assert report["worker_deaths"] >= 1, f"chaos injected no worker death: {report}"
+print(
+    f"serve stage OK: {report['received']} requests, "
+    f"{report['worker_deaths']} worker deaths, "
+    f"{report['breaker_trips']} breaker trips, accounted + drained"
+)
+EOF
+rm -f "$serve_log" "$serve_report"
+
 echo "== all checks passed =="

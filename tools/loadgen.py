@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Load generator for the partition service (``repro.serve``).
+
+Drives a running server with a Zipf-weighted mix of ``(alpha, N,
+algorithm)`` queries over persistent keep-alive connections, checks
+that every request reaches a terminal outcome, and records throughput,
+latency percentiles, shed rate and degraded fraction::
+
+    python -m repro.serve --port 0 &           # note the printed port
+    PYTHONPATH=src python tools/loadgen.py --port PORT \
+        --duration 5 --connections 32 --record
+
+``--record`` writes ``benchmarks/results/BENCH_serve.json`` in the
+unified schema-v1 artifact layout, so ``tools/bench_compare.py`` gates
+its ``throughput_rps`` (higher is better) and ``p50_ms``/``p99_ms``/
+``shed_rate`` (lower is better) against a committed baseline.
+
+The request mix is deterministic (seeded NumPy generator): rank ``r``
+of the ``(alpha, N, algorithm)`` product grid is chosen with
+probability proportional to ``1 / (r + 1) ** s`` -- a few hot cells
+and a long tail, which is exactly the mix micro-batching exists for.
+``--strict`` exits non-zero unless *every* request got an HTTP
+response (used by the check.sh serve stage, where shed/expired are
+legal outcomes but silent drops are not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from _common import BENCH_SCHEMA_VERSION, RESULTS_DIR, machine_meta  # noqa: E402
+from repro.experiments.io import write_atomic  # noqa: E402
+
+__all__ = ["main", "run_load", "zipf_mix"]
+
+#: The query grid the Zipf mix ranks (hot head first).
+ALPHAS = (0.3, 0.25, 0.4, 0.15)
+N_VALUES = (32, 64, 128, 256)
+ALGORITHMS = ("hf", "ba", "bahf")
+
+
+def zipf_mix(
+    rng: np.random.Generator, count: int, *, s: float = 1.2
+) -> List[Dict[str, Any]]:
+    """``count`` request bodies, Zipf(s)-weighted over the product grid."""
+    grid = [
+        {"alpha": alpha, "n": n, "algorithm": algo}
+        for alpha in ALPHAS for n in N_VALUES for algo in ALGORITHMS
+    ]
+    ranks = np.arange(1, len(grid) + 1, dtype=np.float64)
+    probs = ranks ** -s
+    probs /= probs.sum()
+    picks = rng.choice(len(grid), size=count, p=probs)
+    out = []
+    for i, pick in enumerate(picks):
+        cell = grid[int(pick)]
+        out.append(
+            {
+                "algorithm": cell["algorithm"],
+                "n": cell["n"],
+                "alpha": cell["alpha"],
+                "trials": 8,
+                "seed": int(i),
+            }
+        )
+    return out
+
+
+async def _worker(
+    host: str,
+    port: int,
+    requests: "asyncio.Queue[Optional[Dict[str, Any]]]",
+    outcomes: List[Tuple[int, float]],
+    deadline_ms: Optional[float],
+) -> None:
+    """One persistent connection: send queued requests back to back."""
+    reader = writer = None
+    try:
+        while True:
+            item = await requests.get()
+            if item is None:
+                return
+            if deadline_ms is not None:
+                item = dict(item, deadline_ms=deadline_ms)
+            body = json.dumps(item).encode("utf-8")
+            t0 = time.perf_counter()
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    (
+                        "POST /v1/partition HTTP/1.1\r\n"
+                        f"Host: {host}\r\n"
+                        f"Content-Length: {len(body)}\r\n\r\n"
+                    ).encode("latin-1")
+                    + body
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                status = int(status_line.split()[1])
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    if name.strip().lower() == "content-length":
+                        length = int(value)
+                await reader.readexactly(length)
+            except (OSError, ValueError, IndexError, asyncio.IncompleteReadError):
+                # connection-level failure: terminal outcome 0 (no HTTP
+                # response); reconnect for the next request
+                outcomes.append((0, time.perf_counter() - t0))
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+                continue
+            outcomes.append((status, time.perf_counter() - t0))
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    duration_s: float,
+    connections: int,
+    seed: int,
+    deadline_ms: Optional[float],
+    zipf_s: float,
+) -> Dict[str, Any]:
+    """Drive the server for ~``duration_s``; returns the metrics dict."""
+    rng = np.random.default_rng(seed)
+    outcomes: List[Tuple[int, float]] = []
+    queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue(
+        maxsize=connections * 4
+    )
+    workers = [
+        asyncio.ensure_future(
+            _worker(host, port, queue, outcomes, deadline_ms)
+        )
+        for _ in range(connections)
+    ]
+    sent = 0
+    t_start = time.perf_counter()
+    batch = zipf_mix(rng, 1024, s=zipf_s)
+    while time.perf_counter() - t_start < duration_s:
+        await queue.put(dict(batch[sent % len(batch)], seed=sent))
+        sent += 1
+    for _ in workers:
+        await queue.put(None)
+    await asyncio.gather(*workers)
+    elapsed = time.perf_counter() - t_start
+
+    statuses = np.array([s for s, _ in outcomes])
+    lat_ok = np.array(
+        [lat for s, lat in outcomes if s == 200], dtype=np.float64
+    )
+    answered = int((statuses != 0).sum())
+    ok = int((statuses == 200).sum())
+    shed = int((statuses == 429).sum())
+    expired = int((statuses == 504).sum())
+    failed = int((statuses >= 500).sum()) - expired
+
+    def pct(q: float) -> float:
+        if lat_ok.size == 0:
+            return 0.0
+        return float(np.percentile(lat_ok, q) * 1000.0)
+
+    return {
+        "sent": sent,
+        "answered": answered,
+        "ok": ok,
+        "shed": shed,
+        "expired": expired,
+        "failed": failed,
+        "dropped": sent - answered,
+        "elapsed_s": elapsed,
+        "throughput_rps": ok / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": pct(50.0),
+        "p95_ms": pct(95.0),
+        "p99_ms": pct(99.0),
+        "shed_rate": shed / sent if sent else 0.0,
+        "degraded_fraction": 0.0,  # overwritten from /stats below
+        "connections": connections,
+        "zipf_s": zipf_s,
+    }
+
+
+async def _fetch_stats(host: str, port: int) -> Dict[str, Any]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"GET /stats HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return json.loads(body)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="loadgen", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--connections", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="attach this per-request deadline to every query",
+    )
+    parser.add_argument("--zipf-s", type=float, default=1.2)
+    parser.add_argument(
+        "--record", action="store_true",
+        help="write benchmarks/results/BENCH_serve.json",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 unless every request got an HTTP response",
+    )
+    args = parser.parse_args(argv)
+    if args.duration <= 0 or args.connections < 1:
+        print("--duration must be > 0 and --connections >= 1", file=sys.stderr)
+        return 2
+
+    metrics = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            duration_s=args.duration,
+            connections=args.connections,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+            zipf_s=args.zipf_s,
+        )
+    )
+    try:
+        stats = asyncio.run(_fetch_stats(args.host, args.port))
+        completed = stats.get("completed", 0)
+        metrics["degraded_fraction"] = (
+            stats.get("degraded", 0) / completed if completed else 0.0
+        )
+    except OSError:
+        print("warning: could not fetch /stats", file=sys.stderr)
+
+    print(
+        f"sent {metrics['sent']}, answered {metrics['answered']} "
+        f"(ok {metrics['ok']}, shed {metrics['shed']}, "
+        f"expired {metrics['expired']}, failed {metrics['failed']}, "
+        f"dropped {metrics['dropped']})"
+    )
+    print(
+        f"throughput {metrics['throughput_rps']:.0f} req/s; "
+        f"latency p50 {metrics['p50_ms']:.2f}ms p95 {metrics['p95_ms']:.2f}ms "
+        f"p99 {metrics['p99_ms']:.2f}ms; shed rate {metrics['shed_rate']:.3f}; "
+        f"degraded {metrics['degraded_fraction']:.3f}"
+    )
+
+    if args.record:
+        artifact = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "machine": machine_meta(),
+            "entries": {"serve": metrics},
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "BENCH_serve.json"
+        write_atomic(
+            path, lambda fh: json.dump(artifact, fh, indent=2, sort_keys=True)
+        )
+        print(f"[artifact written to {path}]")
+
+    if args.strict and metrics["dropped"]:
+        print(
+            f"FAIL: {metrics['dropped']} request(s) got no HTTP response",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
